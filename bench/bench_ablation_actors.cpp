@@ -1,0 +1,57 @@
+// Ablation: actor-count sweep (dispatchers x computers) for GPSA
+// PageRank on the pokec stand-in. The paper exposes both counts as the
+// engine's main tuning knobs (§V.A); this bench maps the space.
+#include <cstdio>
+
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+  const EdgeList graph =
+      generate_paper_graph(PaperGraph::kPokec, exp.scale, exp.seed);
+
+  std::printf("== Ablation: dispatchers x computers sweep, PageRank, pokec "
+              "stand-in (scale %.3g) ==\n\n",
+              exp.scale);
+
+  struct Shape {
+    unsigned dispatchers;
+    unsigned computers;
+  };
+  const Shape shapes[] = {{1, 1}, {1, 4}, {4, 1}, {2, 2},
+                          {4, 4}, {8, 8}, {16, 16}};
+
+  TextTable table({"dispatchers", "computers", "avg elapsed (s)",
+                   "avg/superstep (s)"});
+  bool ok = true;
+  const PageRankProgram pagerank(5);
+  for (const Shape& shape : shapes) {
+    double total = 0;
+    std::uint64_t supersteps = 1;
+    for (unsigned r = 0; r < exp.runs; ++r) {
+      EngineOptions eo;
+      eo.num_dispatchers = shape.dispatchers;
+      eo.num_computers = shape.computers;
+      eo.max_supersteps = 5;
+      auto result = Engine::run(graph, pagerank, eo);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        ok = false;
+        continue;
+      }
+      total += result.value().elapsed_seconds;
+      supersteps = result.value().supersteps;
+    }
+    const double avg = total / exp.runs;
+    table.add_row({TextTable::num(std::uint64_t{shape.dispatchers}),
+                   TextTable::num(std::uint64_t{shape.computers}),
+                   TextTable::num(avg, 4),
+                   TextTable::num(avg / static_cast<double>(supersteps), 4)});
+  }
+  table.print();
+  return ok ? 0 : 1;
+}

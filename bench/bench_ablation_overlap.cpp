@@ -1,0 +1,68 @@
+// Ablation: the paper's central design claim — decoupling message
+// dispatching from computation so the two phases overlap within a
+// superstep (§IV.A) — versus a conventional sequential BSP where
+// dispatchers hold all batches until their scan completes.
+//
+// Runs GPSA PageRank and BFS on the journal stand-in in both modes.
+#include <cstdio>
+
+#include "apps/bfs.hpp"
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+  const EdgeList graph =
+      generate_paper_graph(PaperGraph::kLiveJournal, exp.scale, exp.seed);
+
+  std::printf("== Ablation: overlapped dispatch/compute vs sequential "
+              "phases (journal stand-in, scale %.3g) ==\n\n",
+              exp.scale);
+
+  TextTable table({"algorithm", "mode", "avg elapsed (s)",
+                   "avg/superstep (s)", "messages"});
+  bool ok = true;
+  struct Case {
+    const char* algo;
+    const Program& program;
+  };
+  const PageRankProgram pagerank(5);
+  const BfsProgram bfs(0);
+  for (const Case& c : {Case{"PageRank", pagerank}, Case{"BFS", bfs}}) {
+    for (const bool overlap : {true, false}) {
+      EngineOptions eo;
+      eo.num_dispatchers = 2;
+      eo.num_computers = 2;
+      eo.scheduler_workers = 4;  // give both roles runnable contexts
+      eo.max_supersteps = 5;
+      eo.overlap_dispatch_compute = overlap;
+      double total = 0;
+      std::uint64_t messages = 0;
+      std::uint64_t supersteps = 1;
+      for (unsigned r = 0; r < exp.runs; ++r) {
+        auto result = Engine::run(graph, c.program, eo);
+        if (!result.is_ok()) {
+          std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+          ok = false;
+          continue;
+        }
+        total += result.value().elapsed_seconds;
+        messages = result.value().total_messages;
+        supersteps = result.value().supersteps;
+      }
+      const double avg = total / exp.runs;
+      table.add_row({c.algo, overlap ? "overlapped (GPSA)" : "sequential BSP",
+                     TextTable::num(avg, 4),
+                     TextTable::num(avg / static_cast<double>(supersteps), 4),
+                     TextTable::num(messages)});
+    }
+  }
+  table.print();
+  std::printf("\nnote: the overlap benefit scales with true core count; on "
+              "a 1-core host it shows up mainly as pipelining of mmap "
+              "faults against compute.\n");
+  return ok ? 0 : 1;
+}

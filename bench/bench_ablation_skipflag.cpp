@@ -1,0 +1,76 @@
+// Ablation: the stale-flag skip (§IV.F) — the mechanism that lets
+// vertex-centric engines ignore inactive vertices — versus dispatching
+// every vertex every superstep (X-Stream-like full streaming).
+//
+// Only monotone apps are eligible (replayed values are absorbed by the
+// min fold). BFS shows the effect most sharply: with the flag, message
+// volume follows the frontier; without it, every superstep re-sends
+// messages for every previously-reached vertex.
+#include <cstdio>
+
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "core/engine.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  std::printf("== Ablation: selective dispatch (stale flag) vs dispatch-all "
+              "(pokec stand-in, scale %.3g) ==\n\n",
+              exp.scale);
+
+  TextTable table({"algorithm", "mode", "elapsed (s)", "supersteps",
+                   "messages", "msg inflation"});
+  bool ok = true;
+
+  const BfsProgram bfs(0);
+  const ConnectedComponentsProgram cc;
+  struct Case {
+    const char* name;
+    const Program& program;
+    AlgoKind kind;
+  };
+  for (const Case& c : {Case{"BFS", bfs, AlgoKind::kBfs},
+                        Case{"CC", cc, AlgoKind::kConnectedComponents}}) {
+    const EdgeList graph = prepare_graph(PaperGraph::kPokec, c.kind, exp);
+    std::uint64_t selective_messages = 0;
+    for (const bool dispatch_all : {false, true}) {
+      EngineOptions eo;
+      eo.num_dispatchers = 2;
+      eo.num_computers = 2;
+      eo.dispatch_inactive = dispatch_all;
+      // dispatch-all never reaches zero messages; stop on zero updates,
+      // plus a hard budget in case of float-style churn.
+      eo.max_supersteps = 64;
+      auto result = Engine::run(graph, c.program, eo);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        ok = false;
+        continue;
+      }
+      const RunResult& r = result.value();
+      if (!dispatch_all) {
+        selective_messages = r.total_messages;
+      }
+      const double inflation =
+          selective_messages == 0
+              ? 0.0
+              : static_cast<double>(r.total_messages) /
+                    static_cast<double>(selective_messages);
+      table.add_row({c.name,
+                     dispatch_all ? "dispatch-all" : "selective (flag)",
+                     TextTable::num(r.elapsed_seconds, 4),
+                     TextTable::num(r.supersteps),
+                     TextTable::num(r.total_messages),
+                     TextTable::num(inflation, 2)});
+    }
+  }
+  table.print();
+  std::printf("\nthis is the mechanism behind Figures 8-10's BFS/CC "
+              "results: X-Stream's edge-centric model effectively runs in "
+              "dispatch-all mode.\n");
+  return ok ? 0 : 1;
+}

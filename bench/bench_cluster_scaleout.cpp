@@ -1,0 +1,61 @@
+// Distributed-simulation bench (paper §III.B motivation c, and the
+// introduction's distributed-systems cost analysis): communication volume,
+// per-node load balance, and modeled network time as the simulated
+// cluster grows — the costs that motivate the single-machine design.
+#include <cstdio>
+
+#include "apps/pagerank.hpp"
+#include "cluster/cluster_engine.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+  const EdgeList graph =
+      generate_paper_graph(PaperGraph::kPokec, exp.scale, exp.seed);
+  const PageRankProgram program(5);
+
+  std::printf("== Cluster scale-out: PageRank, pokec stand-in (scale %.3g) "
+              "==\n\n",
+              exp.scale);
+
+  TextTable table({"nodes", "partition", "remote msgs", "remote %",
+                   "send imbalance", "modeled net (s)", "elapsed (s)"});
+  bool ok = true;
+  for (const unsigned nodes : {1U, 2U, 4U, 8U, 16U}) {
+    for (const auto strategy : {PartitionStrategy::kUniformVertices,
+                                PartitionStrategy::kBalancedEdges}) {
+      ClusterOptions co;
+      co.num_nodes = nodes;
+      co.partition = strategy;
+      co.max_supersteps = 5;
+      const auto result = ClusterEngine::run(graph, program, co);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        ok = false;
+        continue;
+      }
+      const ClusterRunResult& r = result.value();
+      table.add_row(
+          {TextTable::num(std::uint64_t{nodes}),
+           strategy == PartitionStrategy::kUniformVertices ? "uniform"
+                                                           : "edge-balanced",
+           TextTable::num(r.remote_messages),
+           TextTable::num(100.0 * static_cast<double>(r.remote_messages) /
+                              static_cast<double>(
+                                  std::max<std::uint64_t>(r.total_messages,
+                                                          1)),
+                          1) +
+               "%",
+           TextTable::num(r.send_imbalance(), 2),
+           TextTable::num(r.modeled_network_seconds, 4),
+           TextTable::num(r.elapsed_seconds, 4)});
+    }
+  }
+  table.print();
+  std::printf("\nremote share approaches (nodes-1)/nodes for random "
+              "partitions — the communication cost the paper's introduction "
+              "cites as a reason to stay on one machine.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// Figure 7: PageRank / CC / BFS on the (stand-in) google graph —
+// GPSA vs. GraphChi-PSW vs. X-Stream, average elapsed time of 3 runs over
+// 5 supersteps (the paper's protocol). The paper's finding on this small
+// graph: everything fits in memory, so GPSA's I/O advantages do not apply
+// and it does not win.
+#include "harness/experiment.hpp"
+
+int main() {
+  gpsa::ExperimentOptions options = gpsa::ExperimentOptions::from_env();
+  auto cells = gpsa::run_figure(gpsa::PaperGraph::kGoogle, options,
+                                "Figure 7");
+  return cells.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Figure 8: PageRank / CC / BFS on the (stand-in) soc-Pokec graph.
+// Paper shape: GPSA ~1.3x GraphChi and ~8x X-Stream on PageRank; ~4x/6x
+// on CC; BFS ≈ GraphChi with X-Stream worst (it streams every edge every
+// superstep while the vertex-centric engines skip inactive vertices).
+#include "harness/experiment.hpp"
+
+int main() {
+  gpsa::ExperimentOptions options = gpsa::ExperimentOptions::from_env();
+  auto cells = gpsa::run_figure(gpsa::PaperGraph::kPokec, options,
+                                "Figure 8");
+  return cells.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Figure 9: PageRank / CC / BFS on the (stand-in) soc-LiveJournal graph.
+// Paper shape: like Figure 8 with the X-Stream gap widening (~10x on
+// PageRank) as the graph grows.
+#include "harness/experiment.hpp"
+
+int main() {
+  gpsa::ExperimentOptions options = gpsa::ExperimentOptions::from_env();
+  auto cells = gpsa::run_figure(gpsa::PaperGraph::kLiveJournal, options,
+                                "Figure 9");
+  return cells.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// Figure 10: PageRank / CC / BFS on the (stand-in) twitter-2010 graph,
+// the paper's largest dataset. Paper shape: GPSA 2x GraphChi / 8x
+// X-Stream on PageRank, 5x/4x on CC, 6x X-Stream on BFS (GraphChi's BFS
+// hung in the paper; ours runs but is reported alongside).
+#include "harness/experiment.hpp"
+
+int main() {
+  gpsa::ExperimentOptions options = gpsa::ExperimentOptions::from_env();
+  auto cells = gpsa::run_figure(gpsa::PaperGraph::kTwitter2010, options,
+                                "Figure 10");
+  return cells.is_ok() ? 0 : 1;
+}

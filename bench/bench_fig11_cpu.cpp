@@ -1,0 +1,76 @@
+// Figure 11: CPU utilization of the three systems.
+//
+// Paper shape: X-Stream pegs the CPU near 100% even on small inputs
+// (it streams every edge every superstep regardless of useful work);
+// GraphChi shows the lowest utilization (I/O-bound interval processing);
+// GPSA's utilization tracks workload complexity — high for PageRank
+// (every vertex active), low for BFS (small frontiers).
+//
+// Each (system, algorithm) cell is run in a loop for at least one second
+// under a CpuMonitor so the sampler sees a steady state.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "metrics/cpu_monitor.hpp"
+#include "metrics/table.hpp"
+#include "platform/cpu_stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gpsa;
+  ExperimentOptions options = ExperimentOptions::from_env();
+  options.runs = 1;
+
+  std::printf("== Figure 11: CPU utilization (pokec stand-in, scale %.3g, "
+              "%u online cpus) ==\n\n",
+              options.scale, online_cpu_count());
+
+  TextTable table({"algorithm", "system", "mean %cpu", "modeled ooc %cpu",
+                   "peak cores", "runs sampled", "messages/run",
+                   "edges streamed/run"});
+  bool ok = true;
+  for (AlgoKind algo : paper_algos()) {
+    const EdgeList graph =
+        prepare_graph(PaperGraph::kPokec, algo, options);
+    for (SystemKind system : all_systems()) {
+      CpuMonitor monitor(/*interval_seconds=*/0.02);
+      monitor.start();
+      WallTimer timer;
+      unsigned iterations = 0;
+      CellResult last{};
+      while (timer.elapsed_seconds() < 1.0) {
+        auto cell = run_cell(system, algo, graph, options);
+        if (!cell.is_ok()) {
+          std::fprintf(stderr, "cell failed: %s\n",
+                       cell.status().to_string().c_str());
+          ok = false;
+          break;
+        }
+        last = cell.value();
+        ++iterations;
+      }
+      const CpuMonitor::Report report = monitor.stop();
+      // Out-of-core view: the CPU is only busy while not waiting on the
+      // modeled disk, so utilization scales by measured/modeled time.
+      const double modeled_pct =
+          last.modeled_seconds > 0.0
+              ? report.mean_percent_of_machine * last.avg_seconds /
+                    last.modeled_seconds
+              : report.mean_percent_of_machine;
+      table.add_row({algo_name(algo), system_name(system),
+                     TextTable::num(report.mean_percent_of_machine, 1),
+                     TextTable::num(modeled_pct, 1),
+                     TextTable::num(report.peak_cores, 2),
+                     TextTable::num(std::uint64_t{iterations}),
+                     TextTable::num(last.messages),
+                     TextTable::num(last.edges_streamed)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nnote: on a 1-core host every busy engine reads near 100%%; the "
+      "paper's signal survives in the work columns — X-Stream's "
+      "edges-streamed stays at |E| x supersteps while the vertex-centric "
+      "engines' message counts shrink with the frontier.\n");
+  return ok ? 0 : 1;
+}

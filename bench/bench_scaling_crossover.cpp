@@ -1,0 +1,66 @@
+// Scaling sweep: where does GPSA start winning?
+//
+// The paper's Figures 7-10 are snapshots of a size sweep: on the small
+// google graph everything is in memory and GPSA does not win; from pokec
+// upward the I/O regime dominates and GPSA pulls ahead. This bench sweeps
+// the pokec stand-in's scale across the modeled RAM boundary and reports
+// the modeled GPSA-vs-baseline ratios per scale — reproducing the
+// crossover as a single curve.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "metrics/io_model.hpp"
+#include "metrics/table.hpp"
+
+int main() {
+  using namespace gpsa;
+  ExperimentOptions options = ExperimentOptions::from_env();
+  options.runs = 1;
+
+  std::printf("== Scaling crossover: PageRank on pokec stand-ins, modeled "
+              "RAM %.2f MB ==\n\n",
+              static_cast<double>(model_ram_bytes()) / (1024.0 * 1024.0));
+
+  TextTable table({"scale", "edges", "GPSA ws (MB)", "regime",
+                   "GraphChi/GPSA", "X-Stream/GPSA"});
+  bool ok = true;
+  for (const double scale : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    ExperimentOptions sweep = options;
+    sweep.scale = scale;
+    // Sub-millisecond in-memory cells are noisy; average more runs there.
+    sweep.runs = scale < 0.2 ? 15 : 3;
+    const EdgeList graph =
+        prepare_graph(PaperGraph::kPokec, AlgoKind::kPageRank, sweep);
+    double gpsa_modeled = 0.0;
+    double ratios[3] = {};
+    std::uint64_t gpsa_ws = 0;
+    int index = 0;
+    for (SystemKind system : all_systems()) {
+      auto cell = run_cell(system, AlgoKind::kPageRank, graph, sweep);
+      if (!cell.is_ok()) {
+        std::fprintf(stderr, "%s\n", cell.status().to_string().c_str());
+        ok = false;
+        continue;
+      }
+      if (system == SystemKind::kGpsa) {
+        gpsa_modeled = cell.value().modeled_seconds;
+        gpsa_ws = cell.value().working_set_bytes;
+      }
+      ratios[index++] =
+          gpsa_modeled > 0.0 ? cell.value().modeled_seconds / gpsa_modeled
+                             : 1.0;
+    }
+    const bool in_memory = gpsa_ws <= model_ram_bytes();
+    table.add_row({TextTable::num(scale, 2), TextTable::num(graph.num_edges()),
+                   TextTable::num(static_cast<double>(gpsa_ws) /
+                                      (1024.0 * 1024.0),
+                                  2),
+                   in_memory ? "in-memory" : "out-of-core",
+                   TextTable::num(ratios[1], 2) + "x",
+                   TextTable::num(ratios[2], 2) + "x"});
+  }
+  table.print();
+  std::printf("\nratios near 1x in the in-memory regime and 3-4x beyond it "
+              "reproduce the paper's google-vs-larger-graphs contrast.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,264 @@
+// gpsa_cli — the command-line front door to the whole system.
+//
+//   gpsa_cli --algo=pagerank --generator=rmat --scale=14 --edges=300000
+//   gpsa_cli --algo=bfs --graph=edges.txt --root=5 --engine=xstream
+//   gpsa_cli --algo=cc --graph=web.adj --format=adjacency --symmetrize
+//            --engine=gpsa --dispatchers=4 --computers=4 --trace=trace.csv
+//
+// Options:
+//   --algo=pagerank|bfs|cc|sssp|multibfs|indegree   (required)
+//   --engine=gpsa|graphchi|xstream|cluster|reference (default gpsa)
+//   --graph=PATH        load a graph file instead of generating
+//   --format=edges|adjacency|binary (text formats; default edges)
+//   --generator=rmat|er|grid|chain  --scale=N --edges=M --seed=S
+//   --symmetrize        add reverse edges (undirected semantics)
+//   --root=V            BFS/SSSP start vertex
+//   --iterations=N      PageRank iterations (default 20)
+//   --supersteps=N      hard superstep cap
+//   --dispatchers/--computers/--nodes=N, --combine, --checkpoint
+//   --trace=PATH        write the per-superstep CSV trace
+//   --top=K             print the K best-valued vertices (default 5)
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "apps/degree_count.hpp"
+#include "apps/multi_bfs.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/reference.hpp"
+#include "apps/sssp.hpp"
+#include "baselines/graphchi/psw_engine.hpp"
+#include "baselines/xstream/xstream_engine.hpp"
+#include "cluster/cluster_engine.hpp"
+#include "core/engine.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "harness/trace.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace gpsa;
+
+Result<EdgeList> load_or_generate(const Config& config) {
+  const std::string path = config.get_string("graph", "");
+  if (!path.empty()) {
+    const std::string format = config.get_string("format", "edges");
+    if (format == "edges") {
+      return EdgeList::read_text(path);
+    }
+    if (format == "adjacency") {
+      return read_adjacency_text(path);
+    }
+    if (format == "binary") {
+      return EdgeList::read_binary(path);
+    }
+    return invalid_argument("unknown --format=" + format);
+  }
+  const std::string generator = config.get_string("generator", "rmat");
+  const auto scale = static_cast<unsigned>(config.get_int("scale", 14));
+  const auto edges =
+      static_cast<EdgeCount>(config.get_int("edges", 300'000));
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+  if (generator == "rmat") {
+    return rmat(scale, edges, seed);
+  }
+  if (generator == "er") {
+    return erdos_renyi(static_cast<VertexId>(1U << scale), edges, seed);
+  }
+  if (generator == "grid") {
+    const auto side = static_cast<VertexId>(1U << (scale / 2));
+    return grid(side, side);
+  }
+  if (generator == "chain") {
+    return chain(static_cast<VertexId>(1U << scale));
+  }
+  return invalid_argument("unknown --generator=" + generator);
+}
+
+std::unique_ptr<Program> make_program(const Config& config,
+                                      const std::string& algo) {
+  const auto root = static_cast<VertexId>(config.get_int("root", 0));
+  if (algo == "pagerank") {
+    return std::make_unique<PageRankProgram>(
+        static_cast<std::uint64_t>(config.get_int("iterations", 20)));
+  }
+  if (algo == "bfs") {
+    return std::make_unique<BfsProgram>(root);
+  }
+  if (algo == "cc") {
+    return std::make_unique<ConnectedComponentsProgram>();
+  }
+  if (algo == "sssp") {
+    return std::make_unique<SsspProgram>(root);
+  }
+  if (algo == "multibfs") {
+    return std::make_unique<MultiSourceReachabilityProgram>(
+        std::vector<VertexId>{root, root + 1, root + 2});
+  }
+  if (algo == "indegree") {
+    return std::make_unique<InDegreeProgram>();
+  }
+  return nullptr;
+}
+
+void print_top(const std::vector<Payload>& values, const std::string& algo,
+               int top) {
+  std::vector<VertexId> order(values.size());
+  std::iota(order.begin(), order.end(), 0U);
+  const bool float_valued = algo == "pagerank";
+  const bool lower_is_better = algo == "bfs" || algo == "sssp";
+  std::partial_sort(
+      order.begin(),
+      order.begin() + std::min<std::size_t>(top, order.size()), order.end(),
+      [&](VertexId a, VertexId b) {
+        if (float_valued) {
+          return payload_to_float(values[a]) > payload_to_float(values[b]);
+        }
+        return lower_is_better ? values[a] < values[b]
+                               : values[a] > values[b];
+      });
+  std::printf("top %d vertices:\n", top);
+  for (int i = 0; i < top && i < static_cast<int>(order.size()); ++i) {
+    if (float_valued) {
+      std::printf("  vertex %-10u %.6f\n", order[i],
+                  payload_to_float(values[order[i]]));
+    } else {
+      std::printf("  vertex %-10u %u\n", order[i], values[order[i]]);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config_or = Config::from_args(argc, argv);
+  if (!config_or.is_ok()) {
+    std::fprintf(stderr, "%s\n", config_or.status().to_string().c_str());
+    return 1;
+  }
+  const Config& config = config_or.value();
+  const std::string algo = config.get_string("algo", "");
+  const auto program = make_program(config, algo);
+  if (program == nullptr) {
+    std::fprintf(stderr,
+                 "usage: gpsa_cli --algo=pagerank|bfs|cc|sssp|multibfs|"
+                 "indegree [options]\n(see the header of "
+                 "examples/gpsa_cli.cpp for the full list)\n");
+    return 2;
+  }
+
+  auto graph_or = load_or_generate(config);
+  if (!graph_or.is_ok()) {
+    std::fprintf(stderr, "graph: %s\n",
+                 graph_or.status().to_string().c_str());
+    return 1;
+  }
+  EdgeList graph = std::move(graph_or).value();
+  if (config.get_bool("symmetrize", false)) {
+    EdgeList sym;
+    sym.ensure_vertices(graph.num_vertices());
+    for (const Edge& e : graph.edges()) {
+      sym.add_edge(e.src, e.dst);
+      sym.add_edge(e.dst, e.src);
+    }
+    sym.canonicalize();
+    graph = std::move(sym);
+  }
+  std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  const std::string engine = config.get_string("engine", "gpsa");
+  const auto supersteps =
+      static_cast<std::uint64_t>(config.get_int("supersteps", 0));
+  const int top = static_cast<int>(config.get_int("top", 5));
+
+  std::vector<Payload> values;
+  if (engine == "gpsa") {
+    EngineOptions eo;
+    eo.num_dispatchers =
+        static_cast<unsigned>(config.get_int("dispatchers", 2));
+    eo.num_computers =
+        static_cast<unsigned>(config.get_int("computers", 2));
+    eo.max_supersteps = supersteps;
+    eo.enable_combiner = config.get_bool("combine", false);
+    eo.checkpoint_each_superstep = config.get_bool("checkpoint", false);
+    auto result = Engine::run(graph, *program, eo);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    const RunResult& r = result.value();
+    std::printf("gpsa: %llu supersteps, %llu messages, %.4f s%s\n",
+                static_cast<unsigned long long>(r.supersteps),
+                static_cast<unsigned long long>(r.total_messages),
+                r.elapsed_seconds, r.converged ? " (converged)" : "");
+    const std::string trace = config.get_string("trace", "");
+    if (!trace.empty()) {
+      const Status st = write_run_trace_csv(r, trace);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", trace.c_str());
+    }
+    values = r.values;
+  } else if (engine == "graphchi" || engine == "xstream") {
+    BaselineOptions bo;
+    bo.max_supersteps = supersteps;
+    auto result = engine == "graphchi"
+                      ? PswEngine::run(graph, *program, bo)
+                      : XStreamEngine::run(graph, *program, bo);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: %llu supersteps, %llu messages, %.4f s\n",
+                engine.c_str(),
+                static_cast<unsigned long long>(result.value().supersteps),
+                static_cast<unsigned long long>(
+                    result.value().total_messages),
+                result.value().elapsed_seconds);
+    values = std::move(result.value().values);
+  } else if (engine == "cluster") {
+    ClusterOptions co;
+    co.num_nodes = static_cast<unsigned>(config.get_int("nodes", 4));
+    co.max_supersteps = supersteps;
+    auto result = ClusterEngine::run(graph, *program, co);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    const ClusterRunResult& r = result.value();
+    std::printf("cluster(%u nodes): %llu supersteps, %llu messages "
+                "(%.1f%% remote), send imbalance %.2f, modeled net %.4f s\n",
+                co.num_nodes,
+                static_cast<unsigned long long>(r.supersteps),
+                static_cast<unsigned long long>(r.total_messages),
+                100.0 * static_cast<double>(r.remote_messages) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(r.total_messages, 1)),
+                r.send_imbalance(), r.modeled_network_seconds);
+    values = r.values;
+  } else if (engine == "reference") {
+    const ReferenceResult r =
+        reference_run(Csr::from_edges(graph), *program, supersteps);
+    std::printf("reference: %llu supersteps, %llu messages\n",
+                static_cast<unsigned long long>(r.supersteps),
+                static_cast<unsigned long long>(r.total_messages));
+    values = r.values;
+  } else {
+    std::fprintf(stderr, "unknown --engine=%s\n", engine.c_str());
+    return 2;
+  }
+
+  print_top(values, algo, top);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "actor/actor_system.hpp"
+
+namespace gpsa {
+
+ActorSystem::ActorSystem(unsigned worker_count, std::size_t batch_size)
+    : scheduler_(worker_count, batch_size) {}
+
+ActorSystem::~ActorSystem() { shutdown(); }
+
+void ActorSystem::shutdown() {
+  scheduler_.stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  actors_.clear();
+}
+
+}  // namespace gpsa

@@ -1,0 +1,55 @@
+// Owns a Scheduler plus the actors spawned on it.
+//
+// Lifetime rules: actors live until shutdown(); raw Actor<M>* handles
+// returned by spawn() remain valid for that whole window. Callers must
+// quiesce their protocol (e.g. the GPSA manager's SYSTEM_OVER handshake)
+// before calling shutdown(); the system then stops the scheduler and
+// destroys the actors.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "actor/actor.hpp"
+#include "actor/scheduler.hpp"
+
+namespace gpsa {
+
+class ActorSystem {
+ public:
+  explicit ActorSystem(unsigned worker_count, std::size_t batch_size = 256);
+  ~ActorSystem();
+
+  ActorSystem(const ActorSystem&) = delete;
+  ActorSystem& operator=(const ActorSystem&) = delete;
+
+  /// Constructs an actor of type T (T must derive from Actor<M> for some M)
+  /// and registers it with the scheduler. Returns a non-owning handle valid
+  /// until shutdown().
+  template <typename T, typename... Args>
+  T* spawn(Args&&... args) {
+    auto actor = std::make_unique<T>(std::forward<Args>(args)...);
+    T* handle = actor.get();
+    handle->attach(&scheduler_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      actors_.push_back(std::move(actor));
+    }
+    return handle;
+  }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Stops the scheduler and destroys all actors. Idempotent.
+  void shutdown();
+
+ private:
+  Scheduler scheduler_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Schedulable>> actors_;
+  bool shut_down_ = false;
+};
+
+}  // namespace gpsa

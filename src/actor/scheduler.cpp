@@ -1,0 +1,67 @@
+#include "actor/scheduler.hpp"
+
+#include "util/check.hpp"
+#include "util/thread.hpp"
+
+namespace gpsa {
+
+Scheduler::Scheduler(unsigned worker_count, std::size_t batch_size)
+    : batch_size_(batch_size) {
+  GPSA_CHECK(worker_count > 0);
+  GPSA_CHECK(batch_size > 0);
+  workers_.reserve(worker_count);
+  for (unsigned i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::enqueue(Schedulable* unit) {
+  GPSA_DCHECK(unit != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;  // shutdown in progress; work is dropped by design
+    }
+    run_queue_.push_back(unit);
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Idempotent: a second call finds every worker already joined.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  set_current_thread_name("gpsa-w" + std::to_string(index));
+  while (true) {
+    Schedulable* unit = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      unit = run_queue_.front();
+      run_queue_.pop_front();
+    }
+    slices_.fetch_add(1, std::memory_order_relaxed);
+    const bool more = unit->execute_batch(batch_size_);
+    if (more) {
+      enqueue(unit);
+    }
+  }
+}
+
+}  // namespace gpsa

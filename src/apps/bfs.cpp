@@ -1,0 +1,4 @@
+// BfsProgram is header-only; this TU anchors the vtable.
+#include "apps/bfs.hpp"
+
+namespace gpsa {}  // namespace gpsa

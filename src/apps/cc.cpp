@@ -1,0 +1,4 @@
+// ConnectedComponentsProgram is header-only; this TU anchors the vtable.
+#include "apps/cc.hpp"
+
+namespace gpsa {}  // namespace gpsa

@@ -1,0 +1,4 @@
+// InDegreeProgram is header-only; this TU anchors the vtable.
+#include "apps/degree_count.hpp"
+
+namespace gpsa {}  // namespace gpsa

@@ -1,0 +1,4 @@
+// MultiSourceReachabilityProgram is header-only; this TU anchors the vtable.
+#include "apps/multi_bfs.hpp"
+
+namespace gpsa {}  // namespace gpsa

@@ -1,0 +1,7 @@
+// PageRankProgram is header-only; this TU anchors the vtable.
+#include "apps/pagerank.hpp"
+
+namespace gpsa {
+// Intentionally empty: keying the vtable to one translation unit keeps the
+// per-app binaries small.
+}  // namespace gpsa

@@ -1,0 +1,53 @@
+// Sequential reference executor.
+//
+// Executes any Program over an in-memory CSR with exactly the semantics
+// the engines implement — push messages from active vertices, first-touch
+// accumulator seeding, per-superstep activity from Program::changed, and
+// zero-message termination — but in a single thread with deterministic
+// (vertex-id) message order. Every engine's results are validated against
+// this executor: exactly for integer-payload apps, within a float
+// tolerance for PageRank (fold order differs across threads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+#include "graph/csr.hpp"
+
+namespace gpsa {
+
+struct ReferenceResult {
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;
+  bool converged = false;
+  std::vector<Payload> values;
+  std::vector<std::uint64_t> superstep_messages;
+};
+
+/// Runs `program` to quiescence or to min(program.max_supersteps(),
+/// max_supersteps) when the latter is non-zero.
+ReferenceResult reference_run(const Csr& graph, const Program& program,
+                              std::uint64_t max_supersteps = 0);
+
+// --- Classic-algorithm oracles (independent of the Program machinery) -----
+// Used to validate the reference executor itself; the engines are checked
+// against reference_run, which is checked against these.
+
+/// BFS levels from `root` (kPayloadInfinity when unreached).
+std::vector<Payload> oracle_bfs_levels(const Csr& graph, VertexId root);
+
+/// Min-reachable-label fixpoint (equals connected components on a
+/// symmetrized graph).
+std::vector<Payload> oracle_min_label(const Csr& graph);
+
+/// Dijkstra with the synthetic edge weights (apps/weights.hpp).
+std::vector<Payload> oracle_sssp(const Csr& graph, VertexId source);
+
+/// Push PageRank with double accumulation and the same selective-activity
+/// rule; returns float payloads.
+std::vector<Payload> oracle_pagerank(const Csr& graph,
+                                     std::uint64_t iterations,
+                                     float damping = 0.85F);
+
+}  // namespace gpsa

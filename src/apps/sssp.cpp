@@ -1,0 +1,4 @@
+// SsspProgram is header-only; this TU anchors the vtable.
+#include "apps/sssp.hpp"
+
+namespace gpsa {}  // namespace gpsa

@@ -1,0 +1,25 @@
+// Synthetic edge weights.
+//
+// The CSR format stores no weights (the paper's datasets are unweighted),
+// but SSSP needs them. Instead of a parallel weight file we derive a
+// deterministic pseudo-random weight from the edge endpoints, so every
+// engine — and the sequential reference — sees exactly the same weighted
+// graph without any storage.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace gpsa {
+
+/// Weight in [1, 16], stable across runs and engines.
+inline std::uint32_t synthetic_edge_weight(VertexId src, VertexId dst) {
+  std::uint64_t x = (static_cast<std::uint64_t>(src) << 32) | dst;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x & 0xF) + 1;
+}
+
+}  // namespace gpsa

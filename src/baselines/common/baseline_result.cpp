@@ -1,0 +1,15 @@
+#include "baselines/common/baseline_result.hpp"
+
+#include <algorithm>
+
+namespace gpsa {
+
+unsigned default_partition_count(std::uint64_t num_vertices) {
+  // One partition per ~64k vertices, clamped to [1, 64]. Real GraphChi
+  // sizes shards to memory budget; this keeps several shards in play for
+  // realistic sliding-window behaviour at our scaled-down sizes.
+  const std::uint64_t parts = num_vertices / 65'536;
+  return static_cast<unsigned>(std::clamp<std::uint64_t>(parts, 1, 64));
+}
+
+}  // namespace gpsa

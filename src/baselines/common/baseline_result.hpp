@@ -1,0 +1,51 @@
+// Shared result/options types for the baseline engines, aligned with the
+// GPSA engine's RunResult so the harness can compare engines uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/io_model.hpp"
+#include "storage/slot.hpp"
+
+namespace gpsa {
+
+struct BaselineOptions {
+  /// Worker threads for phase-internal parallelism; 0 = default.
+  unsigned threads = 0;
+  /// Number of intervals/shards (GraphChi) or streaming partitions
+  /// (X-Stream); 0 = pick from graph size.
+  unsigned partitions = 0;
+  /// Superstep cap in addition to Program::max_supersteps; 0 = none.
+  std::uint64_t max_supersteps = 0;
+  /// Working directory for shard/update files; empty = private scratch.
+  std::string work_dir;
+  /// X-Stream only: keep update streams in memory instead of spilling
+  /// through files (the paper: "X-Stream supports both in-memory and
+  /// out-of-core graphs on a single machine"). Results are identical;
+  /// only the spill path changes.
+  bool xstream_in_memory = false;
+};
+
+struct BaselineResult {
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;   // updates appended / edge values written
+  std::uint64_t edges_streamed = 0;   // X-Stream: every edge, every superstep
+  bool converged = false;
+  double elapsed_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  std::vector<double> superstep_seconds;
+  std::vector<Payload> values;
+  /// Fundamental I/O volume at the system's native storage widths
+  /// (metrics/io_model.hpp).
+  IoStats io;
+  /// Resident data at the system's native widths, for the I/O model's
+  /// regime decision.
+  std::uint64_t working_set_bytes = 0;
+};
+
+/// Default partition count heuristic shared by both baselines.
+unsigned default_partition_count(std::uint64_t num_vertices);
+
+}  // namespace gpsa

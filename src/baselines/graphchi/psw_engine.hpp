@@ -1,0 +1,31 @@
+// GraphChi-style Parallel Sliding Windows engine (baseline #1, §VI.B).
+//
+// Vertex-centric, out-of-core, selective: per superstep it makes a scatter
+// pass (for every scheduled vertex, walk one sliding window per shard and
+// write stamped message values onto the out-edges) followed by a gather
+// pass (per interval, stream its shard and fold the freshly stamped
+// in-edge values into the vertex values). Only scheduled vertices scatter
+// — the selective-scheduling property the paper credits for GraphChi's
+// (and GPSA's) BFS advantage over X-Stream.
+//
+// Deviations from real GraphChi, recorded in DESIGN.md: synchronous
+// semantics (edge stamps delay visibility one superstep) so results are
+// comparable across engines, and scatter/gather run as two whole-graph
+// phases rather than fused per-interval updates.
+#pragma once
+
+#include "baselines/common/baseline_result.hpp"
+#include "core/program.hpp"
+#include "graph/edge_list.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+class PswEngine {
+ public:
+  static Result<BaselineResult> run(const EdgeList& graph,
+                                    const Program& program,
+                                    const BaselineOptions& options);
+};
+
+}  // namespace gpsa

@@ -1,0 +1,90 @@
+#include "baselines/graphchi/shard.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+namespace {
+
+unsigned find_interval(const std::vector<VertexId>& boundaries, VertexId v) {
+  // boundaries[0] == 0 <= v < boundaries.back(); the owning interval p
+  // satisfies boundaries[p] <= v < boundaries[p+1].
+  const auto it = std::upper_bound(boundaries.begin(), boundaries.end(), v);
+  GPSA_DCHECK(it != boundaries.begin() && it != boundaries.end());
+  return static_cast<unsigned>(it - boundaries.begin() - 1);
+}
+
+}  // namespace
+
+Result<ShardSet> ShardSet::build(const EdgeList& graph, unsigned partitions,
+                                 const std::string& dir) {
+  if (partitions == 0) {
+    return invalid_argument("ShardSet::build: partitions must be >= 1");
+  }
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return invalid_argument("ShardSet::build: empty graph");
+  }
+  ShardSet out;
+  out.num_vertices_ = n;
+  out.num_edges_ = graph.num_edges();
+  partitions = std::min<unsigned>(partitions, n);
+
+  out.boundaries_.resize(partitions + 1);
+  for (unsigned p = 0; p <= partitions; ++p) {
+    out.boundaries_[p] = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(n) * p) / partitions);
+  }
+
+  // Bucket edges by destination interval.
+  std::vector<std::vector<ShardEdge>> buckets(partitions);
+  for (const Edge& e : graph.edges()) {
+    GPSA_CHECK(e.src < n && e.dst < n);
+    const unsigned q = find_interval(out.boundaries_, e.dst);
+    buckets[q].push_back(
+        ShardEdge{e.src, e.dst, 0, ShardEdge::kNeverStamped});
+  }
+
+  out.shards_.reserve(partitions);
+  out.shard_sizes_.reserve(partitions);
+  out.windows_.resize(partitions);
+  for (unsigned q = 0; q < partitions; ++q) {
+    auto& bucket = buckets[q];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const ShardEdge& a, const ShardEdge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    // Persist the shard and map it read-write. Zero-length files cannot be
+    // mapped, so an empty shard gets one placeholder slot; shard_sizes_
+    // keeps the logical edge count.
+    const std::string path = dir + "/shard." + std::to_string(q);
+    const std::size_t bytes =
+        std::max<std::size_t>(bucket.size(), 1) * sizeof(ShardEdge);
+    GPSA_ASSIGN_OR_RETURN(MmapFile map, MmapFile::create(path, bytes));
+    std::copy(bucket.begin(), bucket.end(), map.as_span<ShardEdge>().begin());
+    // Window index: boundaries of src intervals within the sorted shard.
+    auto& win = out.windows_[q];
+    win.resize(partitions + 1);
+    std::uint64_t cursor = 0;
+    for (unsigned p = 0; p < partitions; ++p) {
+      win[p] = cursor;
+      const VertexId hi = out.boundaries_[p + 1];
+      while (cursor < bucket.size() && bucket[cursor].src < hi) {
+        ++cursor;
+      }
+    }
+    win[partitions] = cursor;
+    out.shards_.push_back(std::move(map));
+    out.shard_sizes_.push_back(bucket.size());
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  return out;
+}
+
+unsigned ShardSet::interval_of(VertexId v) const {
+  return find_interval(boundaries_, v);
+}
+
+}  // namespace gpsa

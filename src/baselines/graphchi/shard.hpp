@@ -1,0 +1,87 @@
+// Shard storage for the GraphChi-style PSW baseline.
+//
+// Following GraphChi's Parallel Sliding Windows layout: vertices are split
+// into P equal intervals; shard q holds every edge whose *destination*
+// lies in interval q, sorted by *source*. Because of the source ordering,
+// the out-edges of interval p inside shard q form one contiguous block —
+// the "window" (q, p) — so a full scatter pass over interval p touches one
+// sliding window per shard, all sequentially.
+//
+// Each edge slot carries a message value and the superstep stamp it was
+// written for; the gather pass of superstep s consumes exactly the slots
+// stamped s. This gives the baseline synchronous (Pregel-equivalent)
+// semantics so its results are comparable with GPSA and the reference
+// executor (real GraphChi also supports async execution; see DESIGN.md).
+//
+// Shards live in memory-mapped files under the engine's working
+// directory, as in the real system.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "platform/mmap_file.hpp"
+#include "storage/slot.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct ShardEdge {
+  VertexId src;
+  VertexId dst;
+  Payload value;
+  std::uint32_t stamp;  // superstep this value targets; kNeverStamped if none
+
+  static constexpr std::uint32_t kNeverStamped = 0xffff'ffffU;
+};
+static_assert(sizeof(ShardEdge) == 16);
+
+class ShardSet {
+ public:
+  /// Buckets, sorts, and writes the P shards plus window indices.
+  static Result<ShardSet> build(const EdgeList& graph, unsigned partitions,
+                                const std::string& dir);
+
+  unsigned num_partitions() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeCount num_edges() const { return num_edges_; }
+
+  VertexId interval_begin(unsigned p) const { return boundaries_[p]; }
+  VertexId interval_end(unsigned p) const { return boundaries_[p + 1]; }
+
+  /// Mutable view of shard q's edges (dst in interval q, sorted by src).
+  std::span<ShardEdge> shard(unsigned q) {
+    return shards_[q].as_span<ShardEdge>().subspan(0, shard_sizes_[q]);
+  }
+  std::span<const ShardEdge> shard(unsigned q) const {
+    return shards_[q].as_span<const ShardEdge>().subspan(0, shard_sizes_[q]);
+  }
+
+  /// Window (q, p): index range within shard q of edges with src in
+  /// interval p.
+  std::uint64_t window_begin(unsigned q, unsigned p) const {
+    return windows_[q][p];
+  }
+  std::uint64_t window_end(unsigned q, unsigned p) const {
+    return windows_[q][p + 1];
+  }
+
+  /// Interval owning vertex v.
+  unsigned interval_of(VertexId v) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeCount num_edges_ = 0;
+  std::vector<VertexId> boundaries_;         // P+1
+  std::vector<MmapFile> shards_;             // P mappings
+  std::vector<std::uint64_t> shard_sizes_;   // edges per shard
+  std::vector<std::vector<std::uint64_t>> windows_;  // P x (P+1)
+};
+
+}  // namespace gpsa

@@ -1,0 +1,35 @@
+// X-Stream-style edge-centric scatter-gather engine (baseline #2, §VI.B).
+//
+// Vertices are split into K streaming partitions; each partition owns its
+// vertex state slice and the edge list of edges originating in it. Every
+// superstep runs:
+//
+//   scatter: stream EVERY edge of every partition (this is the defining
+//            X-Stream property — "X-Stream iterates over each edge every
+//            superstep"); edges whose source is active append an update
+//            (dst, gen_msg(...)) to the update file of the destination's
+//            partition;
+//   gather:  stream each partition's update files and fold them into the
+//            vertex values with the shared Program semantics.
+//
+// Updates spill through per-(source, destination)-partition files in the
+// working directory, reproducing the sequential-streaming I/O pattern;
+// `edges_streamed` counts the full-edge scans that make BFS/CC expensive
+// for X-Stream in the paper's Figures 8-10.
+#pragma once
+
+#include "baselines/common/baseline_result.hpp"
+#include "core/program.hpp"
+#include "graph/edge_list.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+class XStreamEngine {
+ public:
+  static Result<BaselineResult> run(const EdgeList& graph,
+                                    const Program& program,
+                                    const BaselineOptions& options);
+};
+
+}  // namespace gpsa

@@ -1,0 +1,476 @@
+#include "cluster/cluster_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <limits>
+
+#include "actor/actor_system.hpp"
+#include "core/messages.hpp"
+#include "graph/csr.hpp"
+#include "storage/slot.hpp"
+#include "storage/value_file.hpp"
+#include "util/check.hpp"
+#include "util/thread.hpp"
+#include "util/timer.hpp"
+
+namespace gpsa {
+namespace {
+
+/// One simulated node's vertex state: the same two-column slot protocol
+/// as the single-machine value file, held in node-local memory.
+struct NodeState {
+  VertexId begin = 0;
+  VertexId end = 0;
+  std::vector<Slot> columns[2];
+  std::vector<std::uint8_t> latest;
+
+  void init(VertexId begin_vertex, VertexId end_vertex,
+            const Program& program, VertexId num_vertices) {
+    begin = begin_vertex;
+    end = end_vertex;
+    const std::size_t size = end - begin;
+    columns[0].resize(size);
+    columns[1].resize(size);
+    latest.assign(size, 0);
+    for (VertexId v = begin; v < end; ++v) {
+      const Program::InitialState st = program.init(v, num_vertices);
+      columns[0][v - begin] = make_slot(st.value, !st.active);
+      columns[1][v - begin] = make_slot(st.value, true);
+    }
+  }
+
+  Slot load(VertexId v, unsigned column) const {
+    return std::atomic_ref<const Slot>(columns[column][v - begin])
+        .load(std::memory_order_relaxed);
+  }
+  void store(VertexId v, unsigned column, Slot value) {
+    std::atomic_ref<Slot>(columns[column][v - begin])
+        .store(value, std::memory_order_relaxed);
+  }
+  Slot consume(VertexId v, unsigned column) {
+    return std::atomic_ref<Slot>(columns[column][v - begin])
+        .fetch_or(kSlotStaleBit, std::memory_order_relaxed);
+  }
+};
+
+class ClusterManager;
+class ClusterComputer;
+
+/// Routes a destination vertex to its owning node.
+class Topology {
+ public:
+  explicit Topology(std::vector<VertexId> boundaries)
+      : boundaries_(std::move(boundaries)) {}
+
+  unsigned node_of(VertexId v) const {
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+    return static_cast<unsigned>(it - boundaries_.begin() - 1);
+  }
+  unsigned num_nodes() const {
+    return static_cast<unsigned>(boundaries_.size() - 1);
+  }
+
+ private:
+  std::vector<VertexId> boundaries_;
+};
+
+class ClusterComputer final : public Actor<ComputerMsg> {
+ public:
+  ClusterComputer(std::uint32_t node, NodeState& state,
+                  const Program& program)
+      : node_(node), state_(state), program_(program) {}
+
+  void connect(ClusterManager* manager) { manager_ = manager; }
+
+  std::uint64_t received_total() const { return received_total_; }
+
+ protected:
+  void on_message(ComputerMsg msg) override;
+
+ private:
+  void apply(const VertexMessage& message, std::uint64_t superstep);
+
+  const std::uint32_t node_;
+  NodeState& state_;
+  const Program& program_;
+  ClusterManager* manager_ = nullptr;
+  std::uint64_t updates_this_superstep_ = 0;
+  std::uint64_t received_total_ = 0;
+};
+
+class ClusterDispatcher final : public Actor<DispatcherMsg> {
+ public:
+  ClusterDispatcher(std::uint32_t node, NodeState& state, const Csr& graph,
+                    const Program& program, const Topology& topology,
+                    std::size_t batch_size)
+      : node_(node),
+        state_(state),
+        graph_(graph),
+        program_(program),
+        topology_(topology),
+        batch_size_(batch_size) {}
+
+  void connect(std::vector<ClusterComputer*> computers,
+               ClusterManager* manager) {
+    computers_ = std::move(computers);
+    manager_ = manager;
+    staging_.resize(computers_.size());
+  }
+
+  std::uint64_t sent_total() const { return sent_total_; }
+  std::uint64_t remote_messages() const { return remote_messages_; }
+  std::uint64_t remote_batches() const { return remote_batches_; }
+
+ protected:
+  void on_message(DispatcherMsg msg) override;
+
+ private:
+  void run_iteration(std::uint64_t superstep);
+  void flush(std::size_t node, std::uint64_t superstep);
+
+  const std::uint32_t node_;
+  NodeState& state_;
+  const Csr& graph_;
+  const Program& program_;
+  const Topology& topology_;
+  const std::size_t batch_size_;
+  std::vector<ClusterComputer*> computers_;
+  ClusterManager* manager_ = nullptr;
+  std::vector<std::vector<VertexMessage>> staging_;
+  std::uint64_t messages_this_superstep_ = 0;
+  std::uint64_t sent_total_ = 0;
+  std::uint64_t remote_messages_ = 0;
+  std::uint64_t remote_batches_ = 0;
+};
+
+class ClusterManager final : public Actor<ManagerMsg> {
+ public:
+  ClusterManager(std::uint64_t max_supersteps) : budget_(max_supersteps) {}
+
+  void connect(std::vector<ClusterDispatcher*> dispatchers,
+               std::vector<ClusterComputer*> computers) {
+    dispatchers_ = std::move(dispatchers);
+    computers_ = std::move(computers);
+  }
+
+  struct Outcome {
+    std::uint64_t supersteps = 0;
+    std::uint64_t total_messages = 0;
+    bool converged = false;
+  };
+  std::future<Outcome> future() { return promise_.get_future(); }
+
+  std::uint64_t superstep() const { return superstep_; }
+
+ protected:
+  void on_message(ManagerMsg msg) override {
+    if (finished_) {
+      return;
+    }
+    switch (msg.kind) {
+      case ManagerMsg::Kind::kStartRun:
+        start_superstep();
+        break;
+      case ManagerMsg::Kind::kDispatchOver:
+        superstep_messages_ += msg.count;
+        if (++dispatch_acks_ == dispatchers_.size()) {
+          for (ClusterComputer* computer : computers_) {
+            ComputerMsg over;
+            over.kind = ComputerMsg::Kind::kComputeOver;
+            over.superstep = superstep_;
+            computer->send(std::move(over));
+          }
+        }
+        break;
+      case ManagerMsg::Kind::kComputeOver:
+        if (++compute_acks_ == computers_.size()) {
+          outcome_.total_messages += superstep_messages_;
+          ++superstep_;
+          ++outcome_.supersteps;
+          if (superstep_messages_ == 0) {
+            finish(/*converged=*/true);
+          } else if (outcome_.supersteps >= budget_) {
+            finish(/*converged=*/false);
+          } else {
+            start_superstep();
+          }
+        }
+        break;
+      case ManagerMsg::Kind::kWorkerFailed:
+        finish(/*converged=*/false);
+        break;
+    }
+  }
+
+ private:
+  void start_superstep() {
+    dispatch_acks_ = 0;
+    compute_acks_ = 0;
+    superstep_messages_ = 0;
+    DispatcherMsg start;
+    start.kind = DispatcherMsg::Kind::kIterationStart;
+    start.superstep = superstep_;
+    for (ClusterDispatcher* dispatcher : dispatchers_) {
+      dispatcher->send(start);
+    }
+  }
+
+  void finish(bool converged) {
+    finished_ = true;
+    outcome_.converged = converged;
+    DispatcherMsg over;
+    over.kind = DispatcherMsg::Kind::kSystemOver;
+    for (ClusterDispatcher* dispatcher : dispatchers_) {
+      dispatcher->send(over);
+    }
+    for (ClusterComputer* computer : computers_) {
+      ComputerMsg stop;
+      stop.kind = ComputerMsg::Kind::kSystemOver;
+      computer->send(std::move(stop));
+    }
+    promise_.set_value(outcome_);
+  }
+
+  const std::uint64_t budget_;
+  std::vector<ClusterDispatcher*> dispatchers_;
+  std::vector<ClusterComputer*> computers_;
+  std::uint64_t superstep_ = 0;
+  std::size_t dispatch_acks_ = 0;
+  std::size_t compute_acks_ = 0;
+  std::uint64_t superstep_messages_ = 0;
+  Outcome outcome_;
+  std::promise<Outcome> promise_;
+  bool finished_ = false;
+};
+
+void ClusterComputer::on_message(ComputerMsg msg) {
+  switch (msg.kind) {
+    case ComputerMsg::Kind::kBatch:
+      for (const VertexMessage& m : msg.batch) {
+        apply(m, msg.superstep);
+      }
+      received_total_ += msg.batch.size();
+      break;
+    case ComputerMsg::Kind::kComputeOver: {
+      ManagerMsg ack;
+      ack.kind = ManagerMsg::Kind::kComputeOver;
+      ack.superstep = msg.superstep;
+      ack.worker_id = node_;
+      ack.count = updates_this_superstep_;
+      updates_this_superstep_ = 0;
+      manager_->send(std::move(ack));
+      break;
+    }
+    case ComputerMsg::Kind::kSystemOver:
+      break;
+  }
+}
+
+void ClusterComputer::apply(const VertexMessage& message,
+                            std::uint64_t superstep) {
+  const VertexId v = message.dst;
+  GPSA_DCHECK(v >= state_.begin && v < state_.end);
+  const unsigned update_col = ValueFile::update_column(superstep);
+  const Slot current = state_.load(v, update_col);
+  if (slot_is_stale(current)) {
+    const Payload base =
+        slot_payload(state_.load(v, state_.latest[v - state_.begin]));
+    const Payload seed = program_.first_update(v, base);
+    const Payload acc = program_.compute(seed, message.value);
+    const bool updated = program_.changed(base, acc);
+    state_.store(v, update_col, make_slot(updated ? acc : base, !updated));
+    state_.latest[v - state_.begin] = static_cast<std::uint8_t>(update_col);
+    if (updated) {
+      ++updates_this_superstep_;
+    }
+    return;
+  }
+  const Payload seed = slot_payload(current);
+  const Payload acc = program_.compute(seed, message.value);
+  if (acc != seed) {
+    state_.store(v, update_col, make_slot(acc, /*stale=*/false));
+  }
+}
+
+void ClusterDispatcher::on_message(DispatcherMsg msg) {
+  switch (msg.kind) {
+    case DispatcherMsg::Kind::kIterationStart:
+      run_iteration(msg.superstep);
+      break;
+    case DispatcherMsg::Kind::kSystemOver:
+      break;
+  }
+}
+
+void ClusterDispatcher::run_iteration(std::uint64_t superstep) {
+  messages_this_superstep_ = 0;
+  const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
+  for (VertexId v = state_.begin; v < state_.end; ++v) {
+    const Slot slot = state_.load(v, dispatch_col);
+    if (slot_is_stale(slot)) {
+      continue;
+    }
+    const Payload value = slot_payload(slot);
+    const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
+    for (VertexId dst : graph_.neighbors(v)) {
+      const Payload message = program_.gen_msg(v, dst, value, degree);
+      const unsigned owner = topology_.node_of(dst);
+      staging_[owner].push_back(VertexMessage{dst, message});
+      ++messages_this_superstep_;
+      if (owner != node_) {
+        ++remote_messages_;
+      }
+      if (staging_[owner].size() >= batch_size_) {
+        flush(owner, superstep);
+      }
+    }
+    state_.consume(v, dispatch_col);
+  }
+  for (std::size_t node = 0; node < staging_.size(); ++node) {
+    flush(node, superstep);
+  }
+  sent_total_ += messages_this_superstep_;
+  ManagerMsg done;
+  done.kind = ManagerMsg::Kind::kDispatchOver;
+  done.superstep = superstep;
+  done.worker_id = node_;
+  done.count = messages_this_superstep_;
+  manager_->send(std::move(done));
+}
+
+void ClusterDispatcher::flush(std::size_t node, std::uint64_t superstep) {
+  auto& buffer = staging_[node];
+  if (buffer.empty()) {
+    return;
+  }
+  if (node != node_) {
+    ++remote_batches_;
+  }
+  ComputerMsg msg;
+  msg.kind = ComputerMsg::Kind::kBatch;
+  msg.superstep = superstep;
+  msg.batch = std::move(buffer);
+  buffer = {};
+  computers_[node]->send(std::move(msg));
+}
+
+}  // namespace
+
+double ClusterRunResult::send_imbalance() const {
+  if (node_messages_sent.empty()) {
+    return 1.0;
+  }
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (std::uint64_t m : node_messages_sent) {
+    max = std::max(max, m);
+    sum += m;
+  }
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(node_messages_sent.size());
+  return mean > 0.0 ? static_cast<double>(max) / mean : 1.0;
+}
+
+Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
+                                            const Program& program,
+                                            const ClusterOptions& options) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return invalid_argument("ClusterEngine: empty graph");
+  }
+  if (options.num_nodes == 0) {
+    return invalid_argument("ClusterEngine: num_nodes must be >= 1");
+  }
+
+  const Csr csr = Csr::from_edges(graph);
+  std::vector<EdgeCount> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = csr.out_degree(v);
+  }
+  const auto intervals = make_intervals_from_degrees(
+      degrees, options.num_nodes, options.partition);
+  GPSA_CHECK(!intervals.empty());
+  std::vector<VertexId> boundaries;
+  boundaries.reserve(intervals.size() + 1);
+  for (const Interval& iv : intervals) {
+    boundaries.push_back(iv.begin_vertex);
+  }
+  boundaries.push_back(n);
+  const Topology topology(std::move(boundaries));
+  const unsigned nodes = topology.num_nodes();
+
+  std::vector<NodeState> states(nodes);
+  for (unsigned node = 0; node < nodes; ++node) {
+    states[node].init(intervals[node].begin_vertex,
+                      intervals[node].end_vertex, program, n);
+  }
+
+  std::uint64_t budget = program.max_supersteps();
+  if (options.max_supersteps != 0) {
+    budget = std::min(budget, options.max_supersteps);
+  }
+
+  const unsigned workers = options.scheduler_workers != 0
+                               ? options.scheduler_workers
+                               : default_worker_count();
+  ActorSystem system(workers);
+  std::vector<ClusterComputer*> computers;
+  std::vector<ClusterDispatcher*> dispatchers;
+  computers.reserve(nodes);
+  dispatchers.reserve(nodes);
+  for (unsigned node = 0; node < nodes; ++node) {
+    computers.push_back(system.spawn<ClusterComputer>(
+        node, std::ref(states[node]), std::cref(program)));
+  }
+  auto* manager = system.spawn<ClusterManager>(budget);
+  for (unsigned node = 0; node < nodes; ++node) {
+    dispatchers.push_back(system.spawn<ClusterDispatcher>(
+        node, std::ref(states[node]), std::cref(csr), std::cref(program),
+        std::cref(topology), options.message_batch));
+    dispatchers.back()->connect(computers, manager);
+    computers[node]->connect(manager);
+  }
+  manager->connect(dispatchers, computers);
+
+  auto future = manager->future();
+  WallTimer timer;
+  ManagerMsg start;
+  start.kind = ManagerMsg::Kind::kStartRun;
+  manager->send(std::move(start));
+  const ClusterManager::Outcome outcome = future.get();
+
+  ClusterRunResult out;
+  out.supersteps = outcome.supersteps;
+  out.total_messages = outcome.total_messages;
+  out.converged = outcome.converged;
+  out.elapsed_seconds = timer.elapsed_seconds();
+  out.values.resize(n);
+  out.node_messages_sent.resize(nodes);
+  out.node_messages_received.resize(nodes);
+  for (unsigned node = 0; node < nodes; ++node) {
+    const NodeState& state = states[node];
+    for (VertexId v = state.begin; v < state.end; ++v) {
+      out.values[v] =
+          slot_payload(state.load(v, state.latest[v - state.begin]));
+    }
+    out.node_messages_sent[node] = dispatchers[node]->sent_total();
+    out.node_messages_received[node] = computers[node]->received_total();
+    out.remote_messages += dispatchers[node]->remote_messages();
+    out.remote_batches += dispatchers[node]->remote_batches();
+  }
+  const double bandwidth =
+      options.net_bandwidth_mbps * 1024.0 * 1024.0;
+  out.modeled_network_seconds =
+      (bandwidth > 0.0
+           ? static_cast<double>(out.remote_messages * sizeof(VertexMessage)) /
+                 bandwidth
+           : 0.0) +
+      static_cast<double>(out.remote_batches) *
+          options.net_latency_us_per_batch * 1e-6;
+  system.shutdown();
+  return out;
+}
+
+}  // namespace gpsa

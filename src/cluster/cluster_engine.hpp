@@ -1,0 +1,68 @@
+// Simulated distributed GPSA (paper §III.B, motivation c: "Actor-based
+// graph processing can ... be directly applicable to distributed
+// systems").
+//
+// The cluster engine deploys the same actor protocol across N simulated
+// nodes in one process. Each node owns a contiguous vertex interval, the
+// matching slice of the CSR, and its own two-column value store (the same
+// slot protocol as storage/value_file.hpp, held in memory — a distributed
+// deployment would place one value file per node). Dispatching actors on
+// node A route messages to the computing actor owning the destination,
+// which may live on any node: the send is the same mailbox operation —
+// the actor model's location transparency — but the engine accounts every
+// node-crossing message as network traffic, so the bench can report
+// communication volume and per-node load balance versus cluster size (the
+// distributed-systems costs the paper's introduction calls out).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/partition.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct ClusterOptions {
+  unsigned num_nodes = 4;
+  /// Vertex-interval assignment across nodes.
+  PartitionStrategy partition = PartitionStrategy::kBalancedEdges;
+  /// Scheduler worker threads backing the whole simulated cluster.
+  unsigned scheduler_workers = 0;  // 0 = default
+  std::size_t message_batch = 1024;
+  std::uint64_t max_supersteps = 0;  // 0 = program/quiescence only
+  /// Modeled interconnect for the network-time estimate.
+  double net_bandwidth_mbps = 1000.0;  // ~gigabit
+  double net_latency_us_per_batch = 50.0;
+};
+
+struct ClusterRunResult {
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t remote_messages = 0;  // crossed a node boundary
+  std::uint64_t remote_batches = 0;
+  double elapsed_seconds = 0.0;
+  /// remote bytes / bandwidth + batches * latency.
+  double modeled_network_seconds = 0.0;
+  bool converged = false;
+  std::vector<Payload> values;
+  /// Messages *sent* by each node (dispatch-side load).
+  std::vector<std::uint64_t> node_messages_sent;
+  /// Messages *received* by each node (compute-side load).
+  std::vector<std::uint64_t> node_messages_received;
+
+  /// max/mean of node_messages_sent — the load-imbalance factor the
+  /// paper's introduction attributes to distributed partitioning.
+  double send_imbalance() const;
+};
+
+class ClusterEngine {
+ public:
+  static Result<ClusterRunResult> run(const EdgeList& graph,
+                                      const Program& program,
+                                      const ClusterOptions& options);
+};
+
+}  // namespace gpsa

@@ -1,0 +1,89 @@
+#include "core/computer.hpp"
+
+#include "core/manager.hpp"
+#include "util/check.hpp"
+
+namespace gpsa {
+
+ComputerActor::ComputerActor(std::uint32_t id, ValueFile& values,
+                             const Program& program,
+                             std::vector<std::uint8_t>& latest_column)
+    : id_(id),
+      values_(values),
+      program_(program),
+      latest_column_(latest_column) {}
+
+void ComputerActor::connect(ManagerActor* manager) {
+  GPSA_CHECK(manager != nullptr);
+  manager_ = manager;
+}
+
+void ComputerActor::on_message(ComputerMsg msg) {
+  switch (msg.kind) {
+    case ComputerMsg::Kind::kBatch:
+      try {
+        for (const VertexMessage& m : msg.batch) {
+          apply(m, msg.superstep);
+        }
+      } catch (const std::exception& e) {
+        // A user compute/first_update hook threw: report instead of
+        // wedging the superstep barrier (§V.C exception handling).
+        ManagerMsg failed;
+        failed.kind = ManagerMsg::Kind::kWorkerFailed;
+        failed.superstep = msg.superstep;
+        failed.worker_id = id_;
+        failed.error = std::string("computer: ") + e.what();
+        manager_->send(std::move(failed));
+      }
+      break;
+    case ComputerMsg::Kind::kComputeOver: {
+      ManagerMsg ack;
+      ack.kind = ManagerMsg::Kind::kComputeOver;
+      ack.superstep = msg.superstep;
+      ack.worker_id = id_;
+      ack.count = updates_this_superstep_;
+      updates_total_ += updates_this_superstep_;
+      updates_this_superstep_ = 0;
+      manager_->send(ack);
+      break;
+    }
+    case ComputerMsg::Kind::kSystemOver:
+      break;
+  }
+}
+
+void ComputerActor::apply(const VertexMessage& message,
+                          std::uint64_t superstep) {
+  const VertexId v = message.dst;
+  const unsigned update_col = ValueFile::update_column(superstep);
+  const Slot current = values_.load(v, update_col);
+
+  if (slot_is_stale(current)) {
+    // First message of this superstep for v (the update column was
+    // invalidated when it was last dispatched): seed the accumulator from
+    // the freshest stored payload (Algorithm 3 line 9).
+    const Payload base =
+        slot_payload(values_.load(v, latest_column_[v]));
+    const Payload seed = program_.first_update(v, base);
+    const Payload acc = program_.compute(seed, message.value);
+    const bool updated = program_.changed(base, acc);
+    // Even a non-update writes the copied payload ("a negative value will
+    // be written"), so this column now holds v's freshest value.
+    values_.store(v, update_col, make_slot(updated ? acc : base, !updated));
+    latest_column_[v] = static_cast<std::uint8_t>(update_col);
+    ++touches_total_;
+    if (updated) {
+      ++updates_this_superstep_;
+    }
+    return;
+  }
+
+  // Fold into the in-progress accumulator.
+  const Payload seed = slot_payload(current);
+  const Payload acc = program_.compute(seed, message.value);
+  if (acc != seed) {
+    values_.store(v, update_col, make_slot(acc, /*stale=*/false));
+  }
+}
+
+}  // namespace gpsa

@@ -1,0 +1,62 @@
+// Computing actor (paper §V.D, Algorithm 3).
+//
+// Message-driven: each VertexMessage batch is folded into the update
+// column of the value file. The first message a vertex receives in a
+// superstep seeds the accumulator from the vertex's freshest stored
+// payload (see the latest-column note in value_file.hpp /
+// engine.hpp) via Program::first_update; subsequent messages fold into the
+// in-progress accumulator. An update clears the stale flag so next
+// superstep's dispatcher picks the vertex up; a first message that does
+// *not* change the value still writes the copied payload with the flag
+// set — the paper's "negative value" write — keeping the update column's
+// payload fresh.
+//
+// COMPUTE_OVER (sent by the manager only after every dispatcher finished,
+// hence after every batch of the superstep is already enqueued) is acked
+// back with the number of vertices this actor updated.
+#pragma once
+
+#include <cstdint>
+
+#include "actor/actor.hpp"
+#include "core/messages.hpp"
+#include "core/program.hpp"
+#include "storage/value_file.hpp"
+
+namespace gpsa {
+
+class ManagerActor;
+
+class ComputerActor final : public Actor<ComputerMsg> {
+ public:
+  ComputerActor(std::uint32_t id, ValueFile& values, const Program& program,
+                std::vector<std::uint8_t>& latest_column);
+
+  void connect(ManagerActor* manager);
+
+  std::uint64_t updates_total() const { return updates_total_; }
+
+  /// First-message events (one value-slot write each, even for
+  /// non-updates — the "negative value" copy).
+  std::uint64_t touches_total() const { return touches_total_; }
+
+ protected:
+  void on_message(ComputerMsg msg) override;
+
+ private:
+  void apply(const VertexMessage& message, std::uint64_t superstep);
+
+  const std::uint32_t id_;
+  ValueFile& values_;
+  const Program& program_;
+  /// Which column holds vertex v's freshest payload. Shared array, but
+  /// entry v is only ever written by the computer owning v.
+  std::vector<std::uint8_t>& latest_column_;
+
+  ManagerActor* manager_ = nullptr;
+  std::uint64_t updates_this_superstep_ = 0;
+  std::uint64_t updates_total_ = 0;
+  std::uint64_t touches_total_ = 0;
+};
+
+}  // namespace gpsa

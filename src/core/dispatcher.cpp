@@ -1,0 +1,152 @@
+#include "core/dispatcher.hpp"
+
+#include "core/computer.hpp"
+#include "core/manager.hpp"
+#include "util/check.hpp"
+
+namespace gpsa {
+
+DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
+                                 const CsrFileReader& csr, ValueFile& values,
+                                 const Program& program,
+                                 std::size_t batch_size, Behavior behavior)
+    : id_(id),
+      interval_(interval),
+      csr_(csr),
+      values_(values),
+      program_(program),
+      batch_size_(batch_size),
+      behavior_(behavior) {
+  GPSA_CHECK(batch_size_ > 0);
+}
+
+void DispatcherActor::connect(std::vector<ComputerActor*> computers,
+                              ManagerActor* manager) {
+  GPSA_CHECK(!computers.empty() && manager != nullptr);
+  computers_ = std::move(computers);
+  manager_ = manager;
+  staging_.resize(computers_.size());
+  for (auto& buffer : staging_) {
+    buffer.reserve(batch_size_);
+  }
+  combining_ = behavior_.combine && program_.has_combiner();
+  if (combining_) {
+    combine_index_.resize(computers_.size());
+  }
+}
+
+void DispatcherActor::on_message(DispatcherMsg msg) {
+  switch (msg.kind) {
+    case DispatcherMsg::Kind::kIterationStart:
+      try {
+        run_iteration(msg.superstep);
+      } catch (const std::exception& e) {
+        // A user gen_msg hook threw: report instead of wedging the
+        // superstep barrier (§V.C exception handling).
+        for (auto& buffer : staging_) {
+          buffer.clear();
+        }
+        ManagerMsg failed;
+        failed.kind = ManagerMsg::Kind::kWorkerFailed;
+        failed.superstep = msg.superstep;
+        failed.worker_id = id_;
+        failed.error = std::string("dispatcher: ") + e.what();
+        manager_->send(std::move(failed));
+      }
+      break;
+    case DispatcherMsg::Kind::kSystemOver:
+      break;  // nothing to tear down; the engine owns all resources
+  }
+}
+
+void DispatcherActor::run_iteration(std::uint64_t superstep) {
+  messages_this_superstep_ = 0;
+  const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
+  const bool has_degree = csr_.has_degree();
+  const auto entries = csr_.entries();
+  const auto offsets = csr_.record_offsets();
+
+  // Algorithm 2: stream the interval's records in id order, driven by the
+  // entry cursor (`curoff`), skipping stale vertices.
+  std::uint64_t cursor = interval_.begin_entry;
+  vertex_checks_total_ += interval_.vertex_count();
+  for (VertexId v = interval_.begin_vertex; v < interval_.end_vertex; ++v) {
+    GPSA_DCHECK(cursor == offsets[v]);
+    const Slot slot = values_.load(v, dispatch_col);
+    if (!behavior_.dispatch_inactive && slot_is_stale(slot)) {
+      cursor = offsets[v + 1];  // skip(sequence)
+      continue;
+    }
+    entries_read_total_ += offsets[v + 1] - cursor;
+    const Payload value = slot_payload(slot);
+    std::uint32_t degree;
+    if (has_degree) {
+      degree = static_cast<std::uint32_t>(entries[cursor]);
+      ++cursor;
+    } else {
+      degree = static_cast<std::uint32_t>(offsets[v + 1] - cursor - 1);
+    }
+    while (entries[cursor] != kCsrEndOfList) {
+      const VertexId dst = static_cast<VertexId>(entries[cursor]);
+      ++cursor;
+      const Payload message = program_.gen_msg(v, dst, value, degree);
+      const std::size_t owner = dst % computers_.size();
+      if (combining_) {
+        auto [it, inserted] =
+            combine_index_[owner].try_emplace(dst, staging_[owner].size());
+        if (!inserted) {
+          VertexMessage& pending = staging_[owner][it->second];
+          pending.value = program_.combine(pending.value, message);
+        } else {
+          staging_[owner].push_back(VertexMessage{dst, message});
+          ++messages_this_superstep_;
+        }
+      } else {
+        staging_[owner].push_back(VertexMessage{dst, message});
+        ++messages_this_superstep_;
+      }
+      if (behavior_.overlap && staging_[owner].size() >= batch_size_) {
+        flush_batch(owner, superstep);
+      }
+    }
+    ++cursor;  // past the -1 sentinel
+    // Consume: "after a dispatcher finishes processing, it will invalidate
+    // the value of the current vertex by setting its highest bit to 1".
+    values_.consume(v, dispatch_col);
+  }
+  flush_all(superstep);
+  messages_sent_total_ += messages_this_superstep_;
+
+  ManagerMsg done;
+  done.kind = ManagerMsg::Kind::kDispatchOver;
+  done.superstep = superstep;
+  done.worker_id = id_;
+  done.count = messages_this_superstep_;
+  manager_->send(done);
+}
+
+void DispatcherActor::flush_batch(std::size_t computer_index,
+                                  std::uint64_t superstep) {
+  auto& buffer = staging_[computer_index];
+  if (buffer.empty()) {
+    return;
+  }
+  ComputerMsg msg;
+  msg.kind = ComputerMsg::Kind::kBatch;
+  msg.superstep = superstep;
+  msg.batch = std::move(buffer);
+  buffer = {};
+  buffer.reserve(batch_size_);
+  if (combining_) {
+    combine_index_[computer_index].clear();
+  }
+  computers_[computer_index]->send(std::move(msg));
+}
+
+void DispatcherActor::flush_all(std::uint64_t superstep) {
+  for (std::size_t i = 0; i < staging_.size(); ++i) {
+    flush_batch(i, superstep);
+  }
+}
+
+}  // namespace gpsa

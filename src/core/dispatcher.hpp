@@ -1,0 +1,90 @@
+// Dispatching actor (paper §V.D, Algorithm 2).
+//
+// Owns one vertex interval of the memory-mapped CSR file. On
+// ITERATION_START it streams its interval's records: vertices whose
+// dispatch-column stale flag is set are skipped; active vertices have one
+// message generated per out-edge via Program::gen_msg, routed to the
+// computing actor that owns the destination (dst mod computer-count) in
+// batches, and are then consumed (flag re-set to 1). When the interval is
+// exhausted it reports DISPATCH_OVER with its message count and waits for
+// the next command.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "actor/actor.hpp"
+#include "core/messages.hpp"
+#include "core/program.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/partition.hpp"
+#include "storage/value_file.hpp"
+
+namespace gpsa {
+
+class ComputerActor;
+class ManagerActor;
+
+class DispatcherActor final : public Actor<DispatcherMsg> {
+ public:
+  struct Behavior {
+    /// Flush batches as they fill (true) or only at interval end (false).
+    bool overlap = true;
+    /// Ignore the stale flag and dispatch every vertex (ablation).
+    bool dispatch_inactive = false;
+    /// Combine same-destination messages in the staging buffers
+    /// (Program::combine must be fold-compatible).
+    bool combine = false;
+  };
+
+  DispatcherActor(std::uint32_t id, Interval interval,
+                  const CsrFileReader& csr, ValueFile& values,
+                  const Program& program, std::size_t batch_size,
+                  Behavior behavior);
+
+  /// Wiring is two-phase: computers and the manager are spawned after the
+  /// dispatchers, then connected before the run starts.
+  void connect(std::vector<ComputerActor*> computers, ManagerActor* manager);
+
+  std::uint64_t messages_sent_total() const { return messages_sent_total_; }
+
+  /// CSR entries belonging to dispatched records (degree + targets +
+  /// sentinel) — the dispatcher's fundamental sequential-read volume.
+  std::uint64_t entries_read_total() const { return entries_read_total_; }
+
+  /// Vertices examined (one value-slot check each per superstep).
+  std::uint64_t vertex_checks_total() const { return vertex_checks_total_; }
+
+ protected:
+  void on_message(DispatcherMsg msg) override;
+
+ private:
+  void run_iteration(std::uint64_t superstep);
+  void flush_batch(std::size_t computer_index, std::uint64_t superstep);
+  void flush_all(std::uint64_t superstep);
+
+  const std::uint32_t id_;
+  const Interval interval_;
+  const CsrFileReader& csr_;
+  ValueFile& values_;
+  const Program& program_;
+  const std::size_t batch_size_;
+  const Behavior behavior_;
+
+  std::vector<ComputerActor*> computers_;
+  ManagerActor* manager_ = nullptr;
+
+  // Per-computer staging buffers, reused across supersteps.
+  std::vector<std::vector<VertexMessage>> staging_;
+  // Combiner index: dst -> position in the staging buffer. Only
+  // populated when behavior_.combine and the program has a combiner.
+  std::vector<std::unordered_map<VertexId, std::size_t>> combine_index_;
+  bool combining_ = false;
+  std::uint64_t messages_this_superstep_ = 0;
+  std::uint64_t messages_sent_total_ = 0;
+  std::uint64_t entries_read_total_ = 0;
+  std::uint64_t vertex_checks_total_ = 0;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,221 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "actor/actor_system.hpp"
+#include "core/computer.hpp"
+#include "core/dispatcher.hpp"
+#include "graph/csr_file.hpp"
+#include "platform/file_util.hpp"
+#include "storage/recovery.hpp"
+#include "storage/value_file.hpp"
+#include "util/logging.hpp"
+#include "util/thread.hpp"
+#include "util/timer.hpp"
+
+namespace gpsa {
+namespace {
+
+Status validate(const EngineOptions& options) {
+  if (options.num_dispatchers == 0) {
+    return invalid_argument("EngineOptions: num_dispatchers must be >= 1");
+  }
+  if (options.num_computers == 0) {
+    return invalid_argument("EngineOptions: num_computers must be >= 1");
+  }
+  if (options.message_batch == 0) {
+    return invalid_argument("EngineOptions: message_batch must be >= 1");
+  }
+  return Status::ok();
+}
+
+Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
+                           const EngineOptions& options,
+                           const std::string& value_path, bool resume) {
+  const VertexId n = csr.num_vertices();
+  if (n == 0) {
+    return invalid_argument("engine: graph has no vertices");
+  }
+
+  // --- Value file: create + initialize, or resume after a crash. ---------
+  ValueFile values;
+  std::vector<std::uint8_t> latest_column(n, 0);
+  if (resume && file_exists(value_path)) {
+    GPSA_ASSIGN_OR_RETURN(values, ValueFile::open(value_path));
+    if (values.num_vertices() != n) {
+      return failed_precondition("engine: value file vertex count mismatch");
+    }
+    if (values.app_tag() != program.name()) {
+      return failed_precondition("engine: value file belongs to app '" +
+                                 values.app_tag() + "', not '" +
+                                 program.name() + "'");
+    }
+    GPSA_ASSIGN_OR_RETURN(const RecoveryReport report,
+                          recover_value_file(values));
+    std::fill(latest_column.begin(), latest_column.end(),
+              static_cast<std::uint8_t>(report.valid_column));
+    // Values come from the file, but programs that cache per-graph
+    // constants in init() (e.g. PageRank's teleport term) still need one
+    // init call to see the vertex count.
+    (void)program.init(0, n);
+    GPSA_LOG(Info) << "engine: resuming '" << program.name()
+                   << "' at superstep " << report.resume_superstep;
+  } else {
+    GPSA_ASSIGN_OR_RETURN(values,
+                          ValueFile::create(value_path, n, program.name()));
+    const unsigned d0 = ValueFile::dispatch_column(0);
+    const unsigned u0 = 1 - d0;
+    for (VertexId v = 0; v < n; ++v) {
+      const Program::InitialState st = program.init(v, n);
+      values.store(v, d0, make_slot(st.value, /*stale=*/!st.active));
+      values.store(v, u0, make_slot(st.value, /*stale=*/true));
+      latest_column[v] = static_cast<std::uint8_t>(d0);
+    }
+  }
+
+  // --- Partition intervals for the dispatchers (§V.A). -------------------
+  const std::vector<Interval> intervals =
+      make_intervals(csr, options.num_dispatchers, options.partition);
+  GPSA_CHECK(!intervals.empty());
+
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  budget = std::min(budget, program.max_supersteps());
+  if (options.max_supersteps != 0) {
+    budget = std::min(budget, options.max_supersteps);
+  }
+
+  // --- Spawn and wire the actor ensemble. --------------------------------
+  const unsigned workers = options.scheduler_workers != 0
+                               ? options.scheduler_workers
+                               : default_worker_count();
+  ActorSystem system(workers);
+
+  std::vector<ComputerActor*> computers;
+  computers.reserve(options.num_computers);
+  for (std::uint32_t c = 0; c < options.num_computers; ++c) {
+    computers.push_back(
+        system.spawn<ComputerActor>(c, std::ref(values), std::cref(program),
+                                    std::ref(latest_column)));
+  }
+  auto* manager = system.spawn<ManagerActor>(
+      std::ref(values), budget, options.checkpoint_each_superstep,
+      /*terminate_on_zero_updates=*/options.dispatch_inactive);
+  std::vector<DispatcherActor*> dispatchers;
+  dispatchers.reserve(intervals.size());
+  DispatcherActor::Behavior behavior;
+  behavior.overlap = options.overlap_dispatch_compute;
+  behavior.dispatch_inactive = options.dispatch_inactive;
+  behavior.combine = options.enable_combiner;
+  for (std::uint32_t d = 0; d < intervals.size(); ++d) {
+    dispatchers.push_back(system.spawn<DispatcherActor>(
+        d, intervals[d], std::cref(csr), std::ref(values),
+        std::cref(program), options.message_batch, behavior));
+  }
+  for (DispatcherActor* dispatcher : dispatchers) {
+    dispatcher->connect(computers, manager);
+  }
+  for (ComputerActor* computer : computers) {
+    computer->connect(manager);
+  }
+  manager->connect(dispatchers, computers);
+
+  // --- Run. ---------------------------------------------------------------
+  auto future = manager->result_future();
+  WallTimer timer;
+  ManagerMsg start;
+  start.kind = ManagerMsg::Kind::kStartRun;
+  manager->send(start);
+  const ManagerResult mres = future.get();
+  const double elapsed = timer.elapsed_seconds();
+  if (mres.failed) {
+    system.shutdown();
+    return internal_error("engine: worker failure: " + mres.error);
+  }
+
+  // --- Extract results and tear down. -------------------------------------
+  RunResult out;
+  out.supersteps = mres.supersteps;
+  out.total_messages = mres.total_messages;
+  out.total_updates = mres.total_updates;
+  out.converged = mres.converged;
+  out.elapsed_seconds = elapsed;
+  out.superstep_seconds = mres.superstep_seconds;
+  out.superstep_messages = mres.superstep_messages;
+  out.superstep_updates = mres.superstep_updates;
+  out.values.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.values[v] = slot_payload(values.load(v, latest_column[v]));
+  }
+  for (const DispatcherActor* dispatcher : dispatchers) {
+    out.io.bytes_read += 4 * (dispatcher->entries_read_total() +
+                              dispatcher->vertex_checks_total());
+  }
+  for (const ComputerActor* computer : computers) {
+    out.io.bytes_written += 4 * computer->touches_total();
+  }
+  out.working_set_bytes =
+      csr.entry_file_bytes() + ValueFile::file_size(n) +
+      (static_cast<std::uint64_t>(n) + 1) * sizeof(std::uint64_t);
+  system.shutdown();
+  return out;
+}
+
+}  // namespace
+
+Result<RunResult> Engine::run(const EdgeList& graph, const Program& program,
+                              const EngineOptions& options) {
+  GPSA_RETURN_IF_ERROR(validate(options));
+
+  std::optional<ScratchDir> scratch;
+  std::string dir = options.work_dir;
+  if (dir.empty()) {
+    GPSA_ASSIGN_OR_RETURN(auto s, ScratchDir::create("engine"));
+    dir = s.path();
+    scratch.emplace(std::move(s));
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return io_error("engine: cannot create work dir " + dir + ": " +
+                      ec.message());
+    }
+  }
+
+  WallTimer preprocess_timer;
+  const std::string csr_path = dir + "/graph.csr";
+  GPSA_RETURN_IF_ERROR(
+      preprocess_edges_to_csr(graph, csr_path, /*with_degree=*/true));
+  const double preprocess_seconds = preprocess_timer.elapsed_seconds();
+
+  GPSA_ASSIGN_OR_RETURN(const CsrFileReader csr, CsrFileReader::open(csr_path));
+  GPSA_ASSIGN_OR_RETURN(
+      RunResult out,
+      run_impl(csr, program, options, dir + "/" + program.name() + ".values",
+               /*resume=*/false));
+  out.preprocess_seconds = preprocess_seconds;
+  return out;
+}
+
+Result<RunResult> Engine::run_from_csr(const std::string& csr_base_path,
+                                       const Program& program,
+                                       const EngineOptions& options,
+                                       bool resume) {
+  GPSA_RETURN_IF_ERROR(validate(options));
+
+  std::optional<ScratchDir> scratch;
+  std::string dir = options.work_dir;
+  if (dir.empty()) {
+    GPSA_ASSIGN_OR_RETURN(auto s, ScratchDir::create("engine"));
+    dir = s.path();
+    scratch.emplace(std::move(s));
+  }
+
+  GPSA_ASSIGN_OR_RETURN(const CsrFileReader csr,
+                        CsrFileReader::open(csr_base_path));
+  return run_impl(csr, program, options,
+                  dir + "/" + program.name() + ".values", resume);
+}
+
+}  // namespace gpsa

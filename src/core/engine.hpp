@@ -1,0 +1,107 @@
+// GPSA engine front-end (paper §V.A, Fig. 3).
+//
+// Orchestrates a run end to end:
+//   1. preprocessing: edge list -> on-disk CSR (Fig. 4c, degree-inline),
+//      unless an existing CSR file pair is supplied;
+//   2. value-file creation + initialization via Program::init;
+//   3. interval assignment to dispatchers (§V.A: mod or edge-balanced);
+//   4. actor spawn (manager, dispatchers, computers) and the superstep
+//      protocol, run on the actor scheduler;
+//   5. result extraction (per-vertex payloads from each vertex's freshest
+//      column) and teardown.
+//
+// Correctness note recorded in DESIGN.md: the paper's two-column protocol
+// under-specifies the accumulator base when a vertex's first message of a
+// superstep arrives while its freshest value sits in the *update* column
+// (vertex last updated an even number of supersteps ago). The engine
+// therefore tracks a per-vertex latest-column byte, written only by the
+// owning computing actor. Without it, monotone apps (BFS/CC) can lose
+// good values by seeding from the stale column.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "core/program.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/partition.hpp"
+#include "metrics/io_model.hpp"
+#include "storage/slot.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct EngineOptions {
+  unsigned num_dispatchers = 2;
+  unsigned num_computers = 2;
+  /// Scheduler worker threads; 0 means default_worker_count().
+  unsigned scheduler_workers = 0;
+  PartitionStrategy partition = PartitionStrategy::kBalancedEdges;
+  /// VertexMessages per mailbox batch.
+  std::size_t message_batch = 1024;
+  /// Caps supersteps in addition to Program::max_supersteps (the smaller
+  /// wins). 0 means "no engine-side cap".
+  std::uint64_t max_supersteps = 0;
+  /// msync + bump the completed-superstep counter after every superstep,
+  /// enabling crash recovery (§IV.G) at ~one msync per superstep.
+  bool checkpoint_each_superstep = false;
+  /// Ablation knob (bench_ablation_overlap): when false, dispatchers hold
+  /// every batch until their interval is fully scanned, so computing
+  /// actors only start after dispatch finishes — the conventional
+  /// sequential compute-then-dispatch BSP the paper's model replaces.
+  bool overlap_dispatch_compute = true;
+  /// Ablation knob (bench_ablation_skipflag): when true, dispatchers
+  /// ignore the stale flag and generate messages for every vertex every
+  /// superstep (X-Stream-like full streaming). Only meaningful for
+  /// monotone apps (BFS/CC/SSSP), whose folds tolerate replayed values.
+  bool dispatch_inactive = false;
+  /// Dispatcher-side message combining (Program::combine). Reduces
+  /// message counts without changing results for fold-compatible
+  /// combiners; off by default so message statistics match the paper's
+  /// uncombined protocol.
+  bool enable_combiner = false;
+  /// Working directory for the CSR and value files; empty -> private
+  /// scratch directory removed at teardown.
+  std::string work_dir;
+};
+
+struct RunResult {
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_updates = 0;
+  bool converged = false;
+  double elapsed_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  std::vector<double> superstep_seconds;
+  std::vector<std::uint64_t> superstep_messages;
+  std::vector<std::uint64_t> superstep_updates;
+  /// Final payload per vertex (freshest column at quiescence).
+  std::vector<Payload> values;
+  /// Fundamental I/O volume of the run (metrics/io_model.hpp): CSR bytes
+  /// of dispatched records + value-column scans read; value updates
+  /// written. GPSA spills no messages.
+  IoStats io;
+  /// Resident data the engine needs (CSR file + value file) for the
+  /// I/O model's in-memory/out-of-core regime decision.
+  std::uint64_t working_set_bytes = 0;
+};
+
+class Engine {
+ public:
+  /// One-shot run: preprocess `graph`, execute `program`, return results.
+  static Result<RunResult> run(const EdgeList& graph, const Program& program,
+                               const EngineOptions& options);
+
+  /// Runs against an existing CSR file pair (skips preprocessing). The
+  /// value file is created in (or resumed from, when `resume` is set and
+  /// the file exists) `options.work_dir`.
+  static Result<RunResult> run_from_csr(const std::string& csr_base_path,
+                                        const Program& program,
+                                        const EngineOptions& options,
+                                        bool resume = false);
+};
+
+}  // namespace gpsa

@@ -1,0 +1,134 @@
+#include "core/manager.hpp"
+
+#include "core/computer.hpp"
+#include "core/dispatcher.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gpsa {
+
+ManagerActor::ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
+                           bool checkpoint_each_superstep,
+                           bool terminate_on_zero_updates)
+    : values_(values),
+      max_supersteps_(max_supersteps),
+      checkpoint_each_superstep_(checkpoint_each_superstep),
+      terminate_on_zero_updates_(terminate_on_zero_updates) {}
+
+void ManagerActor::connect(std::vector<DispatcherActor*> dispatchers,
+                           std::vector<ComputerActor*> computers) {
+  GPSA_CHECK(!dispatchers.empty() && !computers.empty());
+  dispatchers_ = std::move(dispatchers);
+  computers_ = std::move(computers);
+}
+
+void ManagerActor::on_message(ManagerMsg msg) {
+  if (finished_) {
+    return;  // stray acks after SYSTEM_OVER are harmless
+  }
+  switch (msg.kind) {
+    case ManagerMsg::Kind::kStartRun:
+      superstep_ = values_.completed_supersteps();  // 0, or resume point
+      if (max_supersteps_ == 0) {
+        finish_run(/*converged=*/false);
+        return;
+      }
+      start_superstep();
+      break;
+
+    case ManagerMsg::Kind::kDispatchOver:
+      GPSA_CHECK(msg.superstep == superstep_);
+      superstep_message_count_ += msg.count;
+      if (++dispatch_acks_ == dispatchers_.size()) {
+        // Every dispatcher's batches are already enqueued (they enqueue
+        // before reporting), so the COMPUTE_OVER token lands behind them.
+        for (ComputerActor* computer : computers_) {
+          ComputerMsg over;
+          over.kind = ComputerMsg::Kind::kComputeOver;
+          over.superstep = superstep_;
+          computer->send(std::move(over));
+        }
+      }
+      break;
+
+    case ManagerMsg::Kind::kComputeOver:
+      GPSA_CHECK(msg.superstep == superstep_);
+      superstep_update_count_ += msg.count;
+      if (++compute_acks_ == computers_.size()) {
+        finish_superstep();
+      }
+      break;
+
+    case ManagerMsg::Kind::kWorkerFailed:
+      // §V.C: the manager handles worker exceptions — abort the run and
+      // surface the error instead of hanging the superstep protocol.
+      GPSA_LOG(Error) << "manager: worker " << msg.worker_id
+                      << " failed at superstep " << msg.superstep << ": "
+                      << msg.error;
+      result_.failed = true;
+      result_.error = msg.error;
+      finish_run(/*converged=*/false);
+      break;
+  }
+}
+
+void ManagerActor::start_superstep() {
+  dispatch_acks_ = 0;
+  compute_acks_ = 0;
+  superstep_message_count_ = 0;
+  superstep_update_count_ = 0;
+  superstep_timer_.reset();
+  DispatcherMsg start;
+  start.kind = DispatcherMsg::Kind::kIterationStart;
+  start.superstep = superstep_;
+  for (DispatcherActor* dispatcher : dispatchers_) {
+    dispatcher->send(start);
+  }
+}
+
+void ManagerActor::finish_superstep() {
+  result_.superstep_seconds.push_back(superstep_timer_.elapsed_seconds());
+  result_.superstep_messages.push_back(superstep_message_count_);
+  result_.superstep_updates.push_back(superstep_update_count_);
+  result_.total_messages += superstep_message_count_;
+  result_.total_updates += superstep_update_count_;
+  ++superstep_;
+  result_.supersteps = result_.superstep_seconds.size();
+
+  if (checkpoint_each_superstep_) {
+    values_.checkpoint(superstep_).expect_ok();
+  }
+
+  if (superstep_message_count_ == 0 ||
+      (terminate_on_zero_updates_ && superstep_update_count_ == 0)) {
+    finish_run(/*converged=*/true);
+    return;
+  }
+  const std::uint64_t executed = result_.superstep_seconds.size();
+  if (executed >= max_supersteps_) {
+    finish_run(/*converged=*/false);
+    return;
+  }
+  start_superstep();
+}
+
+void ManagerActor::finish_run(bool converged) {
+  finished_ = true;
+  result_.converged = converged;
+  DispatcherMsg dispatcher_over;
+  dispatcher_over.kind = DispatcherMsg::Kind::kSystemOver;
+  for (DispatcherActor* dispatcher : dispatchers_) {
+    dispatcher->send(dispatcher_over);
+  }
+  for (ComputerActor* computer : computers_) {
+    ComputerMsg over;
+    over.kind = ComputerMsg::Kind::kSystemOver;
+    computer->send(std::move(over));
+  }
+  GPSA_LOG(Debug) << "manager: run finished after "
+                  << result_.superstep_seconds.size() << " supersteps, "
+                  << result_.total_messages << " messages";
+  promise_.set_value(result_);
+}
+
+}  // namespace gpsa

@@ -1,0 +1,89 @@
+// Manager actor (paper §V.C, Algorithm 1).
+//
+// Drives the superstep protocol:
+//
+//   start superstep s: ITERATION_START -> every dispatcher
+//   all DISPATCH_OVER received: COMPUTE_OVER -> every computer
+//     (mailbox enqueue order guarantees the token arrives after every
+//      batch the dispatchers enqueued during s)
+//   all COMPUTE_OVER acks received: superstep s is complete ->
+//     optional checkpoint; decide: converged (zero messages dispatched),
+//     superstep budget exhausted, or start s+1.
+//   finish: SYSTEM_OVER -> all workers, fulfil the completion promise the
+//     engine front-end is blocked on.
+//
+// Per-superstep wall time and message/update counts are recorded for the
+// benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "actor/actor.hpp"
+#include "core/messages.hpp"
+#include "storage/value_file.hpp"
+#include "util/timer.hpp"
+
+namespace gpsa {
+
+class DispatcherActor;
+class ComputerActor;
+
+/// Outcome handed to the engine when the run finishes.
+struct ManagerResult {
+  std::uint64_t supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_updates = 0;
+  bool converged = false;  // true: zero-message quiescence; false: budget
+  bool failed = false;     // a worker's user hook threw; `error` explains
+  std::string error;
+  std::vector<double> superstep_seconds;
+  std::vector<std::uint64_t> superstep_messages;
+  std::vector<std::uint64_t> superstep_updates;
+};
+
+class ManagerActor final : public Actor<ManagerMsg> {
+ public:
+  /// `terminate_on_zero_updates`: also stop when a superstep applies no
+  /// updates (needed when dispatch_inactive keeps message counts nonzero
+  /// forever).
+  ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
+               bool checkpoint_each_superstep,
+               bool terminate_on_zero_updates = false);
+
+  void connect(std::vector<DispatcherActor*> dispatchers,
+               std::vector<ComputerActor*> computers);
+
+  /// The engine blocks on this future after sending kStartRun.
+  std::future<ManagerResult> result_future() { return promise_.get_future(); }
+
+ protected:
+  void on_message(ManagerMsg msg) override;
+
+ private:
+  void start_superstep();
+  void finish_superstep();
+  void finish_run(bool converged);
+
+  ValueFile& values_;
+  const std::uint64_t max_supersteps_;
+  const bool checkpoint_each_superstep_;
+  const bool terminate_on_zero_updates_;
+
+  std::vector<DispatcherActor*> dispatchers_;
+  std::vector<ComputerActor*> computers_;
+
+  std::uint64_t superstep_ = 0;
+  std::uint32_t dispatch_acks_ = 0;
+  std::uint32_t compute_acks_ = 0;
+  std::uint64_t superstep_message_count_ = 0;
+  std::uint64_t superstep_update_count_ = 0;
+  WallTimer superstep_timer_;
+
+  ManagerResult result_;
+  std::promise<ManagerResult> promise_;
+  bool finished_ = false;
+};
+
+}  // namespace gpsa

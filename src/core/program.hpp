@@ -1,0 +1,96 @@
+// The user-facing vertex-program interface (paper §IV.E/F, Fig. 3).
+//
+// A graph application supplies four hooks, mirroring the paper's
+// `initialize`, `genMsg`, and `compute` functions:
+//
+//   init(v)           -- initial payload and activity of vertex v
+//                        (PageRank: 1/N and active; BFS: 0/active for the
+//                        root, INF/inactive elsewhere).
+//   gen_msg(...)      -- message payload sent along one out-edge of an
+//                        *active* vertex. Receives the out-degree (read
+//                        straight from the Fig. 4c CSR record, so no extra
+//                        lookup) and the destination (so synthetic edge
+//                        weights can be derived, e.g. SSSP).
+//   first_update(...) -- accumulator seed when the first message of a
+//                        superstep reaches a vertex. Monotone apps seed
+//                        with the stored value (min-fold); PageRank seeds
+//                        with the teleport term and ignores the old rank.
+//   compute(...)      -- folds one message into the accumulator
+//                        (Algorithm 3 line 10).
+//
+// All engines in this repository (GPSA, the GraphChi-style PSW baseline,
+// the X-Stream-style baseline, and the sequential reference) execute the
+// same Program, which is what makes the cross-engine equivalence tests and
+// the benchmark comparisons meaningful.
+//
+// Payloads are raw 31-bit-safe words (storage/slot.hpp): integers below
+// 2^31, or non-negative floats via float_to_payload/payload_to_float.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "graph/types.hpp"
+#include "storage/slot.hpp"
+
+namespace gpsa {
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  virtual std::string name() const = 0;
+
+  struct InitialState {
+    Payload value = 0;
+    bool active = false;
+  };
+
+  /// Initial value/activity of vertex v in a graph of num_vertices.
+  virtual InitialState init(VertexId v, VertexId num_vertices) const = 0;
+
+  /// Message payload for edge src -> dst given src's current value.
+  virtual Payload gen_msg(VertexId src, VertexId dst, Payload value,
+                          std::uint32_t out_degree) const = 0;
+
+  /// Accumulator seed for the first message of a superstep at vertex v,
+  /// given v's current stored payload.
+  virtual Payload first_update(VertexId v, Payload stored) const = 0;
+
+  /// Folds one message into the accumulator. Must be commutative and
+  /// associative up to the app's accepted tolerance (message arrival order
+  /// is nondeterministic).
+  virtual Payload compute(Payload accumulator, Payload message) const = 0;
+
+  /// Whether the post-fold value counts as an update relative to the value
+  /// the vertex held before this superstep (drives the stale flag and
+  /// therefore next superstep's dispatch set).
+  virtual bool changed(Payload before, Payload after) const {
+    return before != after;
+  }
+
+  /// Superstep budget; algorithms that run to quiescence leave this
+  /// unbounded and rely on the zero-messages termination rule.
+  virtual std::uint64_t max_supersteps() const {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // --- Optional Pregel-style message combiner -------------------------------
+  // When supported (and enabled via EngineOptions::enable_combiner), the
+  // dispatcher merges messages bound for the same destination inside its
+  // staging buffers before sending, cutting mailbox traffic. Correctness
+  // requirement: compute(compute(seed, a), b) == compute(seed,
+  // combine(a, b)) — true for min/max/sum/or folds.
+
+  virtual bool has_combiner() const { return false; }
+
+  /// Merges two messages for the same destination. Only called when
+  /// has_combiner() is true.
+  virtual Payload combine(Payload a, Payload b) const {
+    (void)a;
+    return b;
+  }
+};
+
+}  // namespace gpsa

@@ -1,0 +1,35 @@
+// Umbrella header: everything a downstream application needs.
+//
+//   #include "gpsa.hpp"
+//
+//   gpsa::EdgeList graph = gpsa::rmat(14, 300'000, 1);
+//   gpsa::PageRankProgram pagerank(20);
+//   auto result = gpsa::Engine::run(graph, pagerank, {});
+//
+// Finer-grained headers remain available for targeted includes; the
+// baseline engines (baselines/...) and the experiment harness
+// (harness/...) are intentionally not re-exported here — they are
+// evaluation machinery, not the product API.
+#pragma once
+
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "apps/degree_count.hpp"
+#include "apps/multi_bfs.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/reference.hpp"
+#include "apps/sssp.hpp"
+#include "cluster/cluster_engine.hpp"
+#include "core/engine.hpp"
+#include "core/program.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/csr.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "storage/recovery.hpp"
+#include "storage/slot.hpp"
+#include "storage/value_file.hpp"
+#include "util/config.hpp"
+#include "util/status.hpp"

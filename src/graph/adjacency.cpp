@@ -1,0 +1,256 @@
+#include "graph/adjacency.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <vector>
+
+#include "graph/csr_file.hpp"
+#include "util/check.hpp"
+
+namespace gpsa {
+namespace {
+
+/// Recognizes the writer's header comment and extracts the vertex-count
+/// bound (isolated trailing vertices are otherwise unrepresentable in
+/// adjacency text). Returns 0 if the line is not a header.
+VertexId parse_header_bound(const std::string& line) {
+  VertexId bound = 0;
+  unsigned long long parsed = 0;
+  if (std::sscanf(line.c_str(), "# gpsa adjacency graph: %llu vertices",
+                  &parsed) == 1) {
+    bound = static_cast<VertexId>(parsed);
+  }
+  return bound;
+}
+
+/// Parses one adjacency line into (src, dsts). Returns false for blank or
+/// comment lines.
+Result<bool> parse_line(const std::string& line, std::uint64_t line_no,
+                        const std::string& path, VertexId& src,
+                        std::vector<VertexId>& dsts) {
+  dsts.clear();
+  const char* p = line.data();
+  const char* end = p + line.size();
+  while (p != end && (*p == ' ' || *p == '\t')) ++p;
+  if (p == end || *p == '#' || *p == '%') {
+    return false;
+  }
+  auto r = std::from_chars(p, end, src);
+  if (r.ec != std::errc()) {
+    return corrupt_data(path + ":" + std::to_string(line_no) +
+                        ": bad source vertex");
+  }
+  p = r.ptr;
+  // Optional ':' separator after the source.
+  while (p != end && (*p == ' ' || *p == '\t' || *p == ':')) ++p;
+  while (p != end) {
+    VertexId dst = 0;
+    r = std::from_chars(p, end, dst);
+    if (r.ec != std::errc()) {
+      return corrupt_data(path + ":" + std::to_string(line_no) +
+                          ": bad destination vertex");
+    }
+    dsts.push_back(dst);
+    p = r.ptr;
+    while (p != end && (*p == ' ' || *p == '\t' || *p == ',')) ++p;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<EdgeList> read_adjacency_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return not_found("read_adjacency_text: cannot open " + path);
+  }
+  EdgeList out;
+  std::string line;
+  std::vector<VertexId> dsts;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    VertexId src = 0;
+    GPSA_ASSIGN_OR_RETURN(const bool has_record,
+                          parse_line(line, line_no, path, src, dsts));
+    if (!has_record) {
+      out.ensure_vertices(parse_header_bound(line));
+      continue;
+    }
+    out.ensure_vertices(src + 1);
+    for (VertexId dst : dsts) {
+      out.add_edge(src, dst);
+    }
+  }
+  return out;
+}
+
+Status write_adjacency_text(const EdgeList& graph, const std::string& path) {
+  // Group by source via CSR (stable in input order).
+  const Csr csr = Csr::from_edges(graph);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return io_error("write_adjacency_text: cannot open " + path);
+  }
+  out << "# gpsa adjacency graph: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const auto neighbors = csr.neighbors(v);
+    if (neighbors.empty()) {
+      continue;
+    }
+    out << v;
+    for (VertexId dst : neighbors) {
+      out << ' ' << dst;
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return io_error("write_adjacency_text: short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<AdjacencyToCsrReport> adjacency_text_to_csr(
+    const std::string& text_path, const std::string& csr_base,
+    bool with_degree) {
+  std::ifstream in(text_path);
+  if (!in) {
+    return not_found("adjacency_text_to_csr: cannot open " + text_path);
+  }
+
+  std::ofstream out(csr_base, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return io_error("adjacency_text_to_csr: cannot open " + csr_base);
+  }
+  CsrFileHeader header{};  // placeholder; rewritten at the end
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::int32_t> buffer;
+  std::uint64_t entries = 0;
+  std::uint64_t edges = 0;
+  VertexId next_vertex = 0;
+  VertexId max_seen = 0;
+  bool sorted = true;
+
+  const auto emit_empty = [&](VertexId upto) {
+    while (next_vertex < upto) {
+      offsets.push_back(entries);
+      if (with_degree) {
+        buffer.push_back(0);
+        ++entries;
+      }
+      buffer.push_back(kCsrEndOfList);
+      ++entries;
+      ++next_vertex;
+    }
+  };
+  const auto flush = [&]() -> Status {
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size() *
+                                           sizeof(std::int32_t)));
+    if (!out) {
+      return io_error("adjacency_text_to_csr: short write to " + csr_base);
+    }
+    buffer.clear();
+    return Status::ok();
+  };
+
+  std::string line;
+  std::vector<VertexId> dsts;
+  std::uint64_t line_no = 0;
+  while (sorted && std::getline(in, line)) {
+    ++line_no;
+    VertexId src = 0;
+    GPSA_ASSIGN_OR_RETURN(const bool has_record,
+                          parse_line(line, line_no, text_path, src, dsts));
+    if (!has_record) {
+      const VertexId bound = parse_header_bound(line);
+      if (bound > 0) {
+        max_seen = std::max(max_seen, bound - 1);
+      }
+      continue;
+    }
+    if (src < next_vertex) {
+      sorted = false;  // out-of-order input: fall back to the sort path
+      break;
+    }
+    emit_empty(src);
+    offsets.push_back(entries);
+    if (with_degree) {
+      buffer.push_back(static_cast<std::int32_t>(dsts.size()));
+      ++entries;
+    }
+    for (VertexId dst : dsts) {
+      buffer.push_back(static_cast<std::int32_t>(dst));
+      max_seen = std::max(max_seen, dst);
+    }
+    entries += dsts.size();
+    edges += dsts.size();
+    buffer.push_back(kCsrEndOfList);
+    ++entries;
+    max_seen = std::max(max_seen, src);
+    next_vertex = src + 1;
+    if (buffer.size() >= (1 << 16)) {
+      GPSA_RETURN_IF_ERROR(flush());
+    }
+  }
+
+  if (!sorted) {
+    out.close();
+    GPSA_ASSIGN_OR_RETURN(const EdgeList graph,
+                          read_adjacency_text(text_path));
+    GPSA_RETURN_IF_ERROR(
+        preprocess_edges_to_csr(graph, csr_base, with_degree));
+    AdjacencyToCsrReport report;
+    report.num_vertices = graph.num_vertices();
+    report.num_edges = graph.num_edges();
+    report.streamed = false;
+    return report;
+  }
+
+  // Trailing empty records for destinations beyond the last source.
+  emit_empty(next_vertex == 0 ? 0 : std::max(next_vertex, max_seen + 1));
+  if (next_vertex == 0) {
+    return invalid_argument("adjacency_text_to_csr: empty graph in " +
+                            text_path);
+  }
+  offsets.push_back(entries);
+  GPSA_RETURN_IF_ERROR(flush());
+
+  header.magic = CsrFileHeader::kMagic;
+  header.version = CsrFileHeader::kVersion;
+  header.flags = with_degree ? CsrFileHeader::kFlagHasDegree : 0;
+  header.num_vertices = next_vertex;
+  header.num_edges = edges;
+  header.num_entries = entries;
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (!out) {
+    return io_error("adjacency_text_to_csr: header rewrite failed for " +
+                    csr_base);
+  }
+  out.close();
+
+  std::ofstream idx(csr_base + ".idx", std::ios::binary | std::ios::trunc);
+  if (!idx) {
+    return io_error("adjacency_text_to_csr: cannot open " + csr_base +
+                    ".idx");
+  }
+  idx.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() *
+                                         sizeof(std::uint64_t)));
+  if (!idx) {
+    return io_error("adjacency_text_to_csr: short write to " + csr_base +
+                    ".idx");
+  }
+
+  AdjacencyToCsrReport report;
+  report.num_vertices = next_vertex;
+  report.num_edges = edges;
+  report.streamed = true;
+  return report;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,45 @@
+// Text adjacency-graph format (the paper's second accepted input format,
+// §V.A: "text-based edge list or adjacency graph").
+//
+// One line per vertex:
+//
+//     src dst0 dst1 dst2 ...
+//
+// '#'/'%' comment lines are skipped; vertices may be omitted (isolated)
+// and lines may appear in any order. Because the format already groups a
+// vertex's out-edges, preprocessing can stream it straight into the
+// on-disk CSR without the sorting pass an edge list needs (§V.B: "If the
+// input graph is in adjacency format, we can just write the destination
+// vertex id into the memory-mapped file") — provided the lines are in
+// ascending source order, which adjacency_text_to_csr verifies.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// Loads an adjacency-format text file into an edge list.
+Result<EdgeList> read_adjacency_text(const std::string& path);
+
+/// Writes an edge list in adjacency format (sorted by source).
+Status write_adjacency_text(const EdgeList& graph, const std::string& path);
+
+struct AdjacencyToCsrReport {
+  VertexId num_vertices = 0;
+  EdgeCount num_edges = 0;
+  /// True if the input lines were already in ascending source order and
+  /// the streaming (sort-free) path was used end to end.
+  bool streamed = true;
+};
+
+/// Streaming preprocessing: adjacency text -> on-disk CSR file pair
+/// ("<csr_base>" + ".idx"), single pass, no in-memory edge list, when the
+/// input is source-sorted. Falls back to the sorting pipeline otherwise.
+Result<AdjacencyToCsrReport> adjacency_text_to_csr(
+    const std::string& text_path, const std::string& csr_base,
+    bool with_degree);
+
+}  // namespace gpsa

@@ -1,0 +1,46 @@
+#include "graph/csr.hpp"
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+Csr Csr::from_edges(const EdgeList& edges) {
+  Csr out;
+  const VertexId n = edges.num_vertices();
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    GPSA_CHECK(e.src < n && e.dst < n);
+    ++out.offsets_[e.src + 1];
+  }
+  for (std::size_t v = 1; v < out.offsets_.size(); ++v) {
+    out.offsets_[v] += out.offsets_[v - 1];
+  }
+  out.targets_.resize(edges.num_edges());
+  std::vector<EdgeCount> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    out.targets_[cursor[e.src]++] = e.dst;
+  }
+  return out;
+}
+
+Csr Csr::transpose() const {
+  Csr out;
+  const VertexId n = num_vertices();
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId t : targets_) {
+    ++out.offsets_[t + 1];
+  }
+  for (std::size_t v = 1; v < out.offsets_.size(); ++v) {
+    out.offsets_[v] += out.offsets_[v - 1];
+  }
+  out.targets_.resize(targets_.size());
+  std::vector<EdgeCount> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (VertexId src = 0; src < n; ++src) {
+    for (VertexId dst : neighbors(src)) {
+      out.targets_[cursor[dst]++] = src;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpsa

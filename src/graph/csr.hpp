@@ -1,0 +1,50 @@
+// In-memory Compressed Sparse Row adjacency.
+//
+// Used by the sequential reference algorithms and the baseline engines; the
+// GPSA engine itself streams the on-disk variant (csr_file.hpp). Both are
+// built by the same counting pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace gpsa {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds out-adjacency from an edge list (counting sort by source;
+  /// O(V + E), stable in destination input order).
+  static Csr from_edges(const EdgeList& edges);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeCount num_edges() const { return targets_.size(); }
+
+  EdgeCount out_degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     out_degree(v));
+  }
+
+  const std::vector<EdgeCount>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  /// Reversed graph (in-adjacency of this one). Needed by the GraphChi
+  /// baseline, whose update function reads in-edges.
+  Csr transpose() const;
+
+ private:
+  std::vector<EdgeCount> offsets_;  // |V|+1 entries
+  std::vector<VertexId> targets_;  // |E| entries
+};
+
+}  // namespace gpsa

@@ -1,0 +1,147 @@
+#include "graph/csr_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace gpsa {
+
+Status write_csr_file(const Csr& csr, const std::string& base_path,
+                      bool with_degree) {
+  const VertexId n = csr.num_vertices();
+  // Entries: one per edge, one sentinel per vertex, one degree per vertex
+  // when with_degree.
+  const std::uint64_t num_entries =
+      csr.num_edges() + n + (with_degree ? n : 0);
+
+  CsrFileHeader header{};
+  header.magic = CsrFileHeader::kMagic;
+  header.version = CsrFileHeader::kVersion;
+  header.flags = with_degree ? CsrFileHeader::kFlagHasDegree : 0;
+  header.num_vertices = n;
+  header.num_edges = csr.num_edges();
+  header.num_entries = num_entries;
+
+  std::ofstream out(base_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return io_error("write_csr_file: cannot open " + base_path);
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(n) + 1);
+
+  // Buffered record emission: int32 entries staged in chunks.
+  std::vector<std::int32_t> buffer;
+  buffer.reserve(1 << 16);
+  std::uint64_t entry_cursor = 0;
+  const auto flush = [&]() -> Status {
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size() * sizeof(std::int32_t)));
+    if (!out) {
+      return io_error("write_csr_file: short write to " + base_path);
+    }
+    buffer.clear();
+    return Status::ok();
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    offsets.push_back(entry_cursor);
+    const auto nbrs = csr.neighbors(v);
+    if (with_degree) {
+      buffer.push_back(static_cast<std::int32_t>(nbrs.size()));
+      ++entry_cursor;
+    }
+    for (VertexId dst : nbrs) {
+      buffer.push_back(static_cast<std::int32_t>(dst));
+    }
+    entry_cursor += nbrs.size();
+    buffer.push_back(kCsrEndOfList);
+    ++entry_cursor;
+    if (buffer.size() >= (1 << 16)) {
+      GPSA_RETURN_IF_ERROR(flush());
+    }
+  }
+  offsets.push_back(entry_cursor);
+  GPSA_RETURN_IF_ERROR(flush());
+  GPSA_CHECK(entry_cursor == num_entries);
+
+  std::ofstream idx(base_path + ".idx", std::ios::binary | std::ios::trunc);
+  if (!idx) {
+    return io_error("write_csr_file: cannot open " + base_path + ".idx");
+  }
+  idx.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(std::uint64_t)));
+  if (!idx) {
+    return io_error("write_csr_file: short write to " + base_path + ".idx");
+  }
+  return Status::ok();
+}
+
+Status preprocess_edges_to_csr(const EdgeList& edges,
+                               const std::string& base_path,
+                               bool with_degree) {
+  // Counting-sort into adjacency order (§V.B: "an extra sorting operation
+  // is needed to transform [edge lists] into the adjacency format").
+  const Csr csr = Csr::from_edges(edges);
+  return write_csr_file(csr, base_path, with_degree);
+}
+
+Result<CsrFileReader> CsrFileReader::open(const std::string& base_path) {
+  CsrFileReader reader;
+  GPSA_ASSIGN_OR_RETURN(reader.entry_map_,
+                        MmapFile::open(base_path, MmapFile::Mode::kReadOnly));
+  if (reader.entry_map_.size() < sizeof(CsrFileHeader)) {
+    return corrupt_data("csr file too small: " + base_path);
+  }
+  std::memcpy(&reader.header_, reader.entry_map_.data(),
+              sizeof(CsrFileHeader));
+  if (reader.header_.magic != CsrFileHeader::kMagic) {
+    return corrupt_data("bad csr magic in " + base_path);
+  }
+  if (reader.header_.version != CsrFileHeader::kVersion) {
+    return corrupt_data("unsupported csr version in " + base_path);
+  }
+  const std::uint64_t body_bytes =
+      reader.entry_map_.size() - sizeof(CsrFileHeader);
+  if (body_bytes != reader.header_.num_entries * sizeof(std::int32_t)) {
+    return corrupt_data("csr entry count mismatch in " + base_path);
+  }
+  reader.entries_ = std::span<const std::int32_t>(
+      reinterpret_cast<const std::int32_t*>(reader.entry_map_.data() +
+                                            sizeof(CsrFileHeader)),
+      reader.header_.num_entries);
+  GPSA_RETURN_IF_ERROR(reader.entry_map_.advise(MmapFile::Advice::kSequential));
+
+  GPSA_ASSIGN_OR_RETURN(
+      reader.index_map_,
+      MmapFile::open(base_path + ".idx", MmapFile::Mode::kReadOnly));
+  const std::uint64_t expected_idx =
+      (static_cast<std::uint64_t>(reader.header_.num_vertices) + 1) *
+      sizeof(std::uint64_t);
+  if (reader.index_map_.size() != expected_idx) {
+    return corrupt_data("csr index size mismatch in " + base_path + ".idx");
+  }
+  reader.offsets_ = reader.index_map_.as_span<const std::uint64_t>();
+  return reader;
+}
+
+CsrFileReader::VertexRecord CsrFileReader::record(VertexId v) const {
+  GPSA_CHECK(v < header_.num_vertices);
+  std::uint64_t pos = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+  VertexRecord out;
+  out.vertex = v;
+  if (has_degree()) {
+    out.out_degree = static_cast<std::uint32_t>(entries_[pos]);
+    ++pos;
+  } else {
+    // end - pos includes the sentinel.
+    out.out_degree = static_cast<std::uint32_t>(end - pos - 1);
+  }
+  GPSA_DCHECK(entries_[end - 1] == kCsrEndOfList);
+  out.targets = entries_.subspan(pos, end - 1 - pos);
+  return out;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,93 @@
+// On-disk CSR in the paper's format (§IV.D, Fig. 4).
+//
+// The edge structure is one flat array of 32-bit entries, vertices in id
+// order. Each vertex record is:
+//
+//     [out_degree]  dst0 dst1 ... dstK-1  -1
+//
+// where the leading out_degree entry is present when the file was written
+// `with_degree` (Fig. 4c) — the variant the paper recommends so PageRank's
+// genMsg needs no extra degree lookup — and absent otherwise (Fig. 4b).
+// A -1 sentinel (kCsrEndOfList) terminates every record, including empty
+// ones.
+//
+// A companion "<base>.idx" file stores |V|+1 64-bit record-start offsets so
+// dispatch intervals can be assigned without scanning (the paper's
+// dispatcher `interval` holds exactly these start/end offsets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "platform/mmap_file.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct CsrFileHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t flags;  // bit 0: has_degree
+  std::uint32_t num_vertices;
+  std::uint64_t num_edges;
+  std::uint64_t num_entries;  // int32 entries following the header
+
+  static constexpr std::uint32_t kMagic = 0x47435352;  // "GCSR"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kFlagHasDegree = 1U << 0;
+};
+static_assert(sizeof(CsrFileHeader) == 32);
+
+/// Serializes an in-memory CSR into "<base>" + "<base>.idx".
+Status write_csr_file(const Csr& csr, const std::string& base_path,
+                      bool with_degree);
+
+/// Convenience: canonical preprocessing pipeline (paper §V.B) — sorts the
+/// edge list into adjacency order and writes the CSR file pair.
+Status preprocess_edges_to_csr(const EdgeList& edges,
+                               const std::string& base_path, bool with_degree);
+
+/// Memory-mapped reader over the file pair. The mapping is advised
+/// MADV_SEQUENTIAL: dispatchers stream records in id order.
+class CsrFileReader {
+ public:
+  static Result<CsrFileReader> open(const std::string& base_path);
+
+  VertexId num_vertices() const { return header_.num_vertices; }
+  EdgeCount num_edges() const { return header_.num_edges; }
+  bool has_degree() const {
+    return (header_.flags & CsrFileHeader::kFlagHasDegree) != 0;
+  }
+
+  /// The raw entry array (degrees, destinations, -1 sentinels).
+  std::span<const std::int32_t> entries() const { return entries_; }
+
+  /// Record-start offsets into entries(); |V|+1 values, the last one equals
+  /// entries().size().
+  std::span<const std::uint64_t> record_offsets() const { return offsets_; }
+
+  struct VertexRecord {
+    VertexId vertex;
+    std::uint32_t out_degree;
+    std::span<const std::int32_t> targets;  // excludes the -1 sentinel
+  };
+
+  /// Decodes the record of vertex v (random access; tests and baselines).
+  VertexRecord record(VertexId v) const;
+
+  /// Total bytes of the entry file (reported in the Table I bench, which
+  /// reproduces the paper's CSR-compression observation for twitter-2010).
+  std::uint64_t entry_file_bytes() const { return entry_map_.size(); }
+
+ private:
+  CsrFileHeader header_{};
+  MmapFile entry_map_;
+  MmapFile index_map_;
+  std::span<const std::int32_t> entries_;
+  std::span<const std::uint64_t> offsets_;
+};
+
+}  // namespace gpsa

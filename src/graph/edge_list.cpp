@@ -1,0 +1,131 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+
+namespace gpsa {
+namespace {
+
+constexpr std::uint32_t kBinaryMagic = 0x47504531;  // "GPE1"
+
+}  // namespace
+
+void EdgeList::add_edge(VertexId src, VertexId dst) {
+  edges_.push_back(Edge{src, dst});
+  const VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) {
+    num_vertices_ = hi + 1;
+  }
+}
+
+void EdgeList::ensure_vertices(VertexId count) {
+  num_vertices_ = std::max(num_vertices_, count);
+}
+
+void EdgeList::canonicalize(bool remove_self_loops) {
+  if (remove_self_loops) {
+    std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+Result<EdgeList> EdgeList::read_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return not_found("EdgeList::read_text: cannot open " + path);
+  }
+  EdgeList out;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const char* p = line.data();
+    const char* end = p + line.size();
+    while (p != end && (*p == ' ' || *p == '\t')) ++p;
+    if (p == end || *p == '#' || *p == '%') {
+      continue;
+    }
+    VertexId src = 0;
+    VertexId dst = 0;
+    auto r1 = std::from_chars(p, end, src);
+    if (r1.ec != std::errc()) {
+      return corrupt_data(path + ":" + std::to_string(line_no) +
+                          ": bad source vertex");
+    }
+    p = r1.ptr;
+    while (p != end && (*p == ' ' || *p == '\t' || *p == ',')) ++p;
+    auto r2 = std::from_chars(p, end, dst);
+    if (r2.ec != std::errc()) {
+      return corrupt_data(path + ":" + std::to_string(line_no) +
+                          ": bad destination vertex");
+    }
+    out.add_edge(src, dst);
+  }
+  return out;
+}
+
+Status EdgeList::write_text(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return io_error("EdgeList::write_text: cannot open " + path);
+  }
+  out << "# gpsa edge list: " << num_vertices_ << " vertices, "
+      << edges_.size() << " edges\n";
+  for (const Edge& e : edges_) {
+    out << e.src << '\t' << e.dst << '\n';
+  }
+  if (!out) {
+    return io_error("EdgeList::write_text: short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<EdgeList> EdgeList::read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return not_found("EdgeList::read_binary: cannot open " + path);
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&num_vertices), sizeof(num_vertices));
+  in.read(reinterpret_cast<char*>(&num_edges), sizeof(num_edges));
+  if (!in || magic != kBinaryMagic) {
+    return corrupt_data("EdgeList::read_binary: bad header in " + path);
+  }
+  EdgeList out;
+  out.num_vertices_ = num_vertices;
+  out.edges_.resize(num_edges);
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
+  in.read(reinterpret_cast<char*>(out.edges_.data()),
+          static_cast<std::streamsize>(num_edges * sizeof(Edge)));
+  if (!in) {
+    return corrupt_data("EdgeList::read_binary: truncated body in " + path);
+  }
+  return out;
+}
+
+Status EdgeList::write_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return io_error("EdgeList::write_binary: cannot open " + path);
+  }
+  const std::uint32_t magic = kBinaryMagic;
+  const std::uint32_t num_vertices = num_vertices_;
+  const std::uint64_t num_edges = edges_.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&num_vertices), sizeof(num_vertices));
+  out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  out.write(reinterpret_cast<const char*>(edges_.data()),
+            static_cast<std::streamsize>(edges_.size() * sizeof(Edge)));
+  if (!out) {
+    return io_error("EdgeList::write_binary: short write to " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace gpsa

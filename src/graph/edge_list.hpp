@@ -1,0 +1,50 @@
+// Edge-list container and the text/binary interchange formats the paper's
+// preprocessing stage accepts (§V.A: "text-based edge list or adjacency
+// graph").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// A directed multigraph as a flat list of (src, dst) pairs plus the vertex
+/// count (max id + 1, or an explicit larger bound for isolated vertices).
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeCount num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void add_edge(VertexId src, VertexId dst);
+
+  /// Raises the vertex-count bound (never lowers it).
+  void ensure_vertices(VertexId count);
+
+  /// Sorts by (src, dst) and removes duplicate edges and self-loops.
+  void canonicalize(bool remove_self_loops = true);
+
+  /// SNAP-style text: one "src<ws>dst" pair per line; '#'-prefixed comment
+  /// lines are skipped.
+  static Result<EdgeList> read_text(const std::string& path);
+  Status write_text(const std::string& path) const;
+
+  /// Binary: u32 magic, u32 num_vertices, u64 num_edges, then (u32,u32)
+  /// pairs. This is the fast path the benchmark harness uses.
+  static Result<EdgeList> read_binary(const std::string& path);
+  Status write_binary(const std::string& path) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,186 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpsa {
+
+EdgeList erdos_renyi(VertexId n, EdgeCount m, std::uint64_t seed) {
+  GPSA_CHECK(n >= 2);
+  Rng rng(seed);
+  EdgeList out;
+  out.ensure_vertices(n);
+  out.edges().reserve(m);
+  for (EdgeCount i = 0; i < m; ++i) {
+    const VertexId src = static_cast<VertexId>(rng.next_below(n));
+    VertexId dst = static_cast<VertexId>(rng.next_below(n - 1));
+    if (dst >= src) {
+      ++dst;  // skip self-loop
+    }
+    out.add_edge(src, dst);
+  }
+  return out;
+}
+
+EdgeList rmat(unsigned scale, EdgeCount m, std::uint64_t seed,
+              const RmatParams& params) {
+  GPSA_CHECK(scale >= 1 && scale <= 31);
+  const double d = 1.0 - params.a - params.b - params.c;
+  GPSA_CHECK(d > 0.0);
+  const VertexId n = static_cast<VertexId>(1U) << scale;
+  Rng rng(seed);
+  EdgeList out;
+  out.ensure_vertices(n);
+  out.edges().reserve(m);
+  for (EdgeCount i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    // Descend the adjacency-matrix quadtree; smooth the quadrant
+    // probabilities per level so degree skew is not perfectly geometric.
+    double a = params.a;
+    double b = params.b;
+    double c = params.c;
+    for (unsigned level = 0; level < scale; ++level) {
+      const double u = rng.next_double();
+      VertexId bit_src = 0;
+      VertexId bit_dst = 0;
+      if (u < a) {
+        // top-left: no bits
+      } else if (u < a + b) {
+        bit_dst = 1;
+      } else if (u < a + b + c) {
+        bit_src = 1;
+      } else {
+        bit_src = 1;
+        bit_dst = 1;
+      }
+      src = (src << 1) | bit_src;
+      dst = (dst << 1) | bit_dst;
+      // Multiplicative noise, renormalized.
+      const double na = a * (1.0 - params.noise * (rng.next_double() - 0.5));
+      const double nb = b * (1.0 - params.noise * (rng.next_double() - 0.5));
+      const double nc = c * (1.0 - params.noise * (rng.next_double() - 0.5));
+      const double nd =
+          (1.0 - a - b - c) * (1.0 - params.noise * (rng.next_double() - 0.5));
+      const double norm = na + nb + nc + nd;
+      a = na / norm;
+      b = nb / norm;
+      c = nc / norm;
+    }
+    if (src == dst) {
+      dst = static_cast<VertexId>((dst + 1) % n);
+    }
+    out.add_edge(src, dst);
+  }
+  out.ensure_vertices(n);
+  return out;
+}
+
+EdgeList chain(VertexId n) {
+  GPSA_CHECK(n >= 1);
+  EdgeList out;
+  out.ensure_vertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    out.add_edge(v, v + 1);
+  }
+  return out;
+}
+
+EdgeList grid(VertexId rows, VertexId cols) {
+  GPSA_CHECK(rows >= 1 && cols >= 1);
+  EdgeList out;
+  out.ensure_vertices(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        out.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        out.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList star(VertexId n) {
+  GPSA_CHECK(n >= 2);
+  EdgeList out;
+  out.ensure_vertices(n);
+  for (VertexId v = 1; v < n; ++v) {
+    out.add_edge(0, v);
+    out.add_edge(v, 0);
+  }
+  return out;
+}
+
+EdgeList complete(VertexId n) {
+  GPSA_CHECK(n >= 2);
+  EdgeList out;
+  out.ensure_vertices(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i != j) {
+        out.add_edge(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList binary_tree(VertexId n) {
+  GPSA_CHECK(n >= 1);
+  EdgeList out;
+  out.ensure_vertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId left = 2 * v + 1;
+    const VertexId right = 2 * v + 2;
+    if (left < n) {
+      out.add_edge(v, left);
+    }
+    if (right < n) {
+      out.add_edge(v, right);
+    }
+  }
+  return out;
+}
+
+DatasetSpec paper_dataset_spec(PaperGraph which) {
+  switch (which) {
+    case PaperGraph::kGoogle:
+      return {"google", 875'713, 5'105'039, 16'384, 95'000};
+    case PaperGraph::kPokec:
+      return {"soc-pokec", 1'632'803, 30'622'564, 40'960, 768'000};
+    case PaperGraph::kLiveJournal:
+      return {"soc-liveJournal", 4'847'571, 68'993'773, 131'072, 1'900'000};
+    case PaperGraph::kTwitter2010:
+      return {"twitter-2010", 41'652'230, 1'468'365'182, 393'216, 14'000'000};
+  }
+  GPSA_UNREACHABLE("invalid PaperGraph");
+}
+
+std::vector<PaperGraph> all_paper_graphs() {
+  return {PaperGraph::kGoogle, PaperGraph::kPokec, PaperGraph::kLiveJournal,
+          PaperGraph::kTwitter2010};
+}
+
+EdgeList generate_paper_graph(PaperGraph which, double scale,
+                              std::uint64_t seed) {
+  GPSA_CHECK(scale > 0.0);
+  const DatasetSpec spec = paper_dataset_spec(which);
+  const auto scaled_vertices = static_cast<VertexId>(
+      std::max(64.0, static_cast<double>(spec.stand_in_vertices) * scale));
+  const auto scaled_edges = static_cast<EdgeCount>(
+      std::max(128.0, static_cast<double>(spec.stand_in_edges) * scale));
+  const unsigned rmat_scale =
+      static_cast<unsigned>(std::bit_width(std::bit_ceil(scaled_vertices)) - 1);
+  EdgeList graph = rmat(rmat_scale, scaled_edges, seed);
+  return graph;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,74 @@
+// Synthetic graph generators.
+//
+// Two roles: (1) structured family graphs (chain, grid, star, complete,
+// tree) with analytically known properties for unit and property tests;
+// (2) R-MAT power-law graphs standing in for the paper's datasets
+// (web-Google, soc-Pokec, soc-LiveJournal, twitter-2010), which are not
+// redistributable here. The stand-ins keep each dataset's node:edge aspect
+// ratio and heavy-tailed out-degree skew — the properties the paper's
+// experiments actually exercise (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace gpsa {
+
+/// G(n, m): m directed edges drawn uniformly (self-loops excluded,
+/// duplicates possible unless canonicalized by the caller).
+EdgeList erdos_renyi(VertexId n, EdgeCount m, std::uint64_t seed);
+
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  double noise = 0.10;  // per-level probability smoothing
+};
+
+/// R-MAT graph over 2^scale vertices with m edges.
+EdgeList rmat(unsigned scale, EdgeCount m, std::uint64_t seed,
+              const RmatParams& params = {});
+
+/// 0 -> 1 -> ... -> n-1.
+EdgeList chain(VertexId n);
+
+/// rows x cols lattice, right and down edges.
+EdgeList grid(VertexId rows, VertexId cols);
+
+/// Hub 0 -> {1..n-1} and back edges {1..n-1} -> 0.
+EdgeList star(VertexId n);
+
+/// All ordered pairs (i, j), i != j.
+EdgeList complete(VertexId n);
+
+/// Complete binary out-tree with n vertices (parent -> children).
+EdgeList binary_tree(VertexId n);
+
+// --- Paper dataset stand-ins -----------------------------------------------
+
+enum class PaperGraph { kGoogle, kPokec, kLiveJournal, kTwitter2010 };
+
+struct DatasetSpec {
+  std::string name;          // paper's dataset name
+  VertexId paper_vertices;   // Table I values
+  EdgeCount paper_edges;
+  VertexId stand_in_vertices;  // our scaled stand-in (at scale = 1.0)
+  EdgeCount stand_in_edges;
+};
+
+/// Table I row + our stand-in sizing for a dataset.
+DatasetSpec paper_dataset_spec(PaperGraph which);
+
+std::vector<PaperGraph> all_paper_graphs();
+
+/// Generates the R-MAT stand-in. `scale` multiplies the stand-in size
+/// (0.1 for quick tests, 1.0 for the benchmark runs).
+EdgeList generate_paper_graph(PaperGraph which, double scale,
+                              std::uint64_t seed);
+
+}  // namespace gpsa

@@ -1,0 +1,95 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+namespace {
+
+/// Cuts [0, n) after computing per-part vertex boundaries, then fills in
+/// entry offsets. `boundary(i)` returns the first vertex of part i.
+template <typename BoundaryFn>
+std::vector<Interval> build(const std::vector<EdgeCount>& degrees,
+                            unsigned parts, BoundaryFn boundary) {
+  const VertexId n = static_cast<VertexId>(degrees.size());
+  std::vector<Interval> out;
+  out.reserve(parts);
+  for (unsigned p = 0; p < parts; ++p) {
+    const VertexId begin = boundary(p);
+    const VertexId end = boundary(p + 1);
+    if (begin >= end) {
+      continue;  // fewer parts than requested on tiny graphs
+    }
+    Interval iv;
+    iv.begin_vertex = begin;
+    iv.end_vertex = end;
+    for (VertexId v = begin; v < end; ++v) {
+      iv.edge_count += degrees[v];
+    }
+    out.push_back(iv);
+  }
+  GPSA_CHECK(!out.empty() || n == 0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Interval> make_intervals_from_degrees(
+    const std::vector<EdgeCount>& out_degrees, unsigned parts,
+    PartitionStrategy strategy) {
+  GPSA_CHECK(parts >= 1);
+  const VertexId n = static_cast<VertexId>(out_degrees.size());
+  if (n == 0) {
+    return {};
+  }
+
+  std::vector<Interval> intervals;
+  if (strategy == PartitionStrategy::kUniformVertices) {
+    intervals = build(out_degrees, parts, [n, parts](unsigned p) {
+      return static_cast<VertexId>(
+          (static_cast<std::uint64_t>(n) * p) / parts);
+    });
+  } else {
+    // Greedy prefix cut at multiples of total_edges / parts. Vertices with
+    // huge degree can force an interval past the ideal cut; the remainder
+    // rebalances over the remaining parts.
+    EdgeCount total = 0;
+    for (EdgeCount d : out_degrees) {
+      total += d;
+    }
+    std::vector<VertexId> cuts(parts + 1, n);
+    cuts[0] = 0;
+    VertexId v = 0;
+    EdgeCount prefix = 0;
+    for (unsigned p = 1; p < parts; ++p) {
+      const EdgeCount target = total * p / parts;  // ideal prefix sum
+      while (v < n && prefix < target) {
+        prefix += out_degrees[v];
+        ++v;
+      }
+      cuts[p] = v;
+    }
+    intervals = build(out_degrees, parts,
+                      [&cuts](unsigned p) { return cuts[p]; });
+  }
+  return intervals;
+}
+
+std::vector<Interval> make_intervals(const CsrFileReader& csr, unsigned parts,
+                                     PartitionStrategy strategy) {
+  const VertexId n = csr.num_vertices();
+  std::vector<EdgeCount> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = csr.record(v).out_degree;
+  }
+  auto intervals = make_intervals_from_degrees(degrees, parts, strategy);
+  const auto offsets = csr.record_offsets();
+  for (Interval& iv : intervals) {
+    iv.begin_entry = offsets[iv.begin_vertex];
+    iv.end_entry = offsets[iv.end_vertex];
+  }
+  return intervals;
+}
+
+}  // namespace gpsa

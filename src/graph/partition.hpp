@@ -1,0 +1,44 @@
+// Vertex-interval assignment for dispatchers (paper §V.A).
+//
+// Each dispatcher owns a contiguous vertex-id interval plus the matching
+// [start, end) offsets into the on-disk CSR entry array. Two strategies,
+// both from the paper:
+//   kUniformVertices  -- "a simple mod algorithm": equal vertex counts;
+//   kBalancedEdges    -- "assign vertices ... by the average edges to
+//                         ensure that every dispatcher sends exactly the
+//                         same number of messages": equal edge counts.
+// The ablation bench (bench_ablation_partition) compares the two on skewed
+// graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_file.hpp"
+#include "graph/types.hpp"
+
+namespace gpsa {
+
+struct Interval {
+  VertexId begin_vertex = 0;
+  VertexId end_vertex = 0;          // exclusive
+  std::uint64_t begin_entry = 0;    // offset into the CSR entry array
+  std::uint64_t end_entry = 0;      // exclusive
+  EdgeCount edge_count = 0;
+
+  VertexId vertex_count() const { return end_vertex - begin_vertex; }
+};
+
+enum class PartitionStrategy { kUniformVertices, kBalancedEdges };
+
+/// Splits [0, |V|) into at most `parts` non-empty intervals. Every vertex is
+/// covered exactly once; intervals are in ascending id order.
+std::vector<Interval> make_intervals(const CsrFileReader& csr, unsigned parts,
+                                     PartitionStrategy strategy);
+
+/// Same computation from in-memory degree data (used by tests and baselines).
+std::vector<Interval> make_intervals_from_degrees(
+    const std::vector<EdgeCount>& out_degrees, unsigned parts,
+    PartitionStrategy strategy);
+
+}  // namespace gpsa

@@ -1,0 +1,31 @@
+// Fundamental graph types shared by all engines.
+//
+// Vertices are dense integer ids in [0, |V|), matching the paper's
+// assumption ("vertices are labeled from 0 to |V|"). Edge counts use
+// 64 bits (twitter-2010 has 1.47 B edges).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpsa {
+
+using VertexId = std::uint32_t;
+using EdgeCount = std::uint64_t;
+
+/// Sentinel for "no vertex" (e.g. unreached BFS parent).
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// The paper's CSR record terminator (§IV.D, Fig. 4): a -1 entry marks the
+/// end of a vertex's out-edge list in the on-disk edge array.
+inline constexpr std::int32_t kCsrEndOfList = -1;
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gpsa

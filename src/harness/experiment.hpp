@@ -1,0 +1,84 @@
+// Shared experiment driver for the benchmark binaries.
+//
+// Reproduces the paper's measurement protocol (§VI.B): each (system,
+// algorithm, dataset) cell runs `runs` times (paper: 3) over
+// `supersteps` supersteps (paper: 5) and reports the average elapsed
+// time; connected components runs on the symmetrized graph (undirected
+// semantics). Environment knobs honoured by every bench binary:
+//
+//   GPSA_BENCH_SCALE  dataset scale multiplier (default 0.25; 1.0 is the
+//                     full stand-in size from DESIGN.md)
+//   GPSA_BENCH_RUNS   repetitions per cell (default 3)
+//   GPSA_THREADS      worker threads for every engine
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+enum class SystemKind { kGpsa, kGraphChi, kXStream };
+enum class AlgoKind { kPageRank, kConnectedComponents, kBfs };
+
+std::string system_name(SystemKind system);
+std::string algo_name(AlgoKind algo);
+std::vector<SystemKind> all_systems();
+std::vector<AlgoKind> paper_algos();
+
+struct ExperimentOptions {
+  double scale = 0.25;        // dataset scale multiplier
+  unsigned runs = 3;          // repetitions per cell (paper: 3)
+  std::uint64_t supersteps = 5;  // timing window (paper: 5)
+  unsigned threads = 0;       // 0 = default_worker_count()
+  std::uint64_t seed = 42;
+  bool measure_cpu = false;   // attach a CpuMonitor per run
+
+  /// Reads GPSA_BENCH_SCALE / GPSA_BENCH_RUNS on top of the defaults.
+  static ExperimentOptions from_env();
+};
+
+struct CellResult {
+  SystemKind system;
+  AlgoKind algo;
+  double avg_seconds = 0.0;          // mean elapsed over runs
+  double avg_superstep_seconds = 0.0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t messages = 0;        // per run
+  std::uint64_t edges_streamed = 0;  // X-Stream only
+  double cpu_mean_percent = 0.0;     // when measure_cpu
+  double cpu_peak_cores = 0.0;
+  /// Fundamental I/O volume per run and the modeled out-of-core time
+  /// (metrics/io_model.hpp) — the figure the paper's disk-bound numbers
+  /// correspond to.
+  std::uint64_t io_bytes = 0;
+  std::uint64_t working_set_bytes = 0;
+  double modeled_seconds = 0.0;
+};
+
+/// Runs one (system, algorithm) cell on `graph` (already symmetrized for
+/// CC by the caller via prepare_graph).
+Result<CellResult> run_cell(SystemKind system, AlgoKind algo,
+                            const EdgeList& graph,
+                            const ExperimentOptions& options);
+
+/// Dataset preparation: generates the stand-in and symmetrizes when the
+/// algorithm needs undirected semantics.
+EdgeList prepare_graph(PaperGraph dataset, AlgoKind algo,
+                       const ExperimentOptions& options);
+
+/// Adds the reverse of every edge (then canonicalizes).
+EdgeList symmetrize(const EdgeList& graph);
+
+/// Full figure: all systems x the paper's three algorithms on one dataset,
+/// printed as a table. Returns the cells for further inspection.
+Result<std::vector<CellResult>> run_figure(PaperGraph dataset,
+                                           const ExperimentOptions& options,
+                                           const std::string& title);
+
+}  // namespace gpsa

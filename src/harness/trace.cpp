@@ -1,0 +1,50 @@
+#include "harness/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace gpsa {
+
+Status write_run_trace_csv(const RunResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return io_error("write_run_trace_csv: cannot open " + path);
+  }
+  out << "superstep,seconds,messages,updates\n";
+  for (std::size_t s = 0; s < result.superstep_seconds.size(); ++s) {
+    out << s << ',' << result.superstep_seconds[s] << ','
+        << result.superstep_messages[s] << ',' << result.superstep_updates[s]
+        << '\n';
+  }
+  if (!out) {
+    return io_error("write_run_trace_csv: short write to " + path);
+  }
+  return Status::ok();
+}
+
+std::string format_run_trace(const RunResult& result) {
+  std::string out = "superstep  seconds    messages    updates\n";
+  const std::uint64_t peak = result.superstep_messages.empty()
+                                 ? 1
+                                 : std::max<std::uint64_t>(
+                                       1, *std::max_element(
+                                              result.superstep_messages.begin(),
+                                              result.superstep_messages.end()));
+  for (std::size_t s = 0; s < result.superstep_seconds.size(); ++s) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-9zu  %-9.5f  %-10llu  %-9llu  ", s,
+                  result.superstep_seconds[s],
+                  static_cast<unsigned long long>(result.superstep_messages[s]),
+                  static_cast<unsigned long long>(result.superstep_updates[s]));
+    out += line;
+    const int bars = static_cast<int>(
+        40.0 * static_cast<double>(result.superstep_messages[s]) /
+        static_cast<double>(peak));
+    out.append(static_cast<std::size_t>(bars), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gpsa

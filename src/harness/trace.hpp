@@ -1,0 +1,18 @@
+// Superstep trace export: per-superstep timings/messages/updates as CSV
+// for offline analysis and plotting (every RunResult carries the series).
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// Writes "superstep,seconds,messages,updates" rows.
+Status write_run_trace_csv(const RunResult& result, const std::string& path);
+
+/// Renders the same series as an inline text sparkline table (examples).
+std::string format_run_trace(const RunResult& result);
+
+}  // namespace gpsa

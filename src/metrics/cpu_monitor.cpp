@@ -1,0 +1,59 @@
+#include "metrics/cpu_monitor.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+CpuMonitor::CpuMonitor(double interval_seconds)
+    : interval_seconds_(interval_seconds) {
+  GPSA_CHECK(interval_seconds_ > 0.0);
+}
+
+CpuMonitor::~CpuMonitor() { (void)stop(); }
+
+void CpuMonitor::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;  // already running
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+CpuMonitor::Report CpuMonitor::stop() {
+  if (running_.exchange(false) && thread_.joinable()) {
+    thread_.join();
+  }
+  Report report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report.samples = samples_;
+  }
+  RunningStat stat;
+  for (double s : report.samples) {
+    stat.add(s);
+  }
+  report.mean_cores = stat.mean();
+  report.peak_cores = stat.max();
+  report.mean_percent_of_machine =
+      100.0 * stat.mean() / static_cast<double>(online_cpu_count());
+  return report;
+}
+
+void CpuMonitor::loop() {
+  CpuUsageProbe probe;
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(interval);
+    const double cores = probe.sample();
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(cores);
+  }
+}
+
+}  // namespace gpsa

@@ -1,0 +1,49 @@
+// Background CPU-utilization sampler (drives the Figure 11 reproduction).
+//
+// A monitor thread samples process CPU usage (cores busy) at a fixed
+// interval while a workload runs. Results summarize to mean/peak
+// cores-busy and a utilization percentage of the online CPUs — the
+// quantity the paper plots per system/workload.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "platform/cpu_stats.hpp"
+#include "util/stats.hpp"
+
+namespace gpsa {
+
+class CpuMonitor {
+ public:
+  explicit CpuMonitor(double interval_seconds = 0.05);
+  ~CpuMonitor();
+
+  CpuMonitor(const CpuMonitor&) = delete;
+  CpuMonitor& operator=(const CpuMonitor&) = delete;
+
+  void start();
+
+  struct Report {
+    std::vector<double> samples;  // cores busy per interval
+    double mean_cores = 0.0;
+    double peak_cores = 0.0;
+    double mean_percent_of_machine = 0.0;  // mean_cores / online cpus * 100
+  };
+
+  /// Stops sampling and returns the collected series. Idempotent.
+  Report stop();
+
+ private:
+  void loop();
+
+  const double interval_seconds_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,32 @@
+// Column-aligned text tables for the benchmark binaries, which print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpsa {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::uint64_t value);
+
+  /// Renders with a header underline, columns padded to content width.
+  std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,80 @@
+#include "platform/cpu_stats.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gpsa {
+namespace {
+
+double now_wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<double> process_cpu_seconds() {
+  std::ifstream in("/proc/self/stat");
+  if (!in) {
+    return io_error("cannot open /proc/self/stat");
+  }
+  std::string line;
+  std::getline(in, line);
+  // Field 2 (comm) may contain spaces; it is parenthesized, so resume
+  // parsing after the last ')'.
+  const auto close_paren = line.rfind(')');
+  if (close_paren == std::string::npos) {
+    return corrupt_data("malformed /proc/self/stat: " + line);
+  }
+  std::istringstream rest(line.substr(close_paren + 2));
+  std::string field;
+  // Fields after comm: state(3) ... utime is field 14, stime field 15
+  // (1-based); after ')' we are at field 3, so skip 11 fields.
+  for (int i = 0; i < 11; ++i) {
+    rest >> field;
+  }
+  std::uint64_t utime = 0;
+  std::uint64_t stime = 0;
+  rest >> utime >> stime;
+  if (!rest) {
+    return corrupt_data("cannot parse utime/stime from /proc/self/stat");
+  }
+  const long ticks = ::sysconf(_SC_CLK_TCK);
+  if (ticks <= 0) {
+    return io_error("sysconf(_SC_CLK_TCK) failed");
+  }
+  return static_cast<double>(utime + stime) / static_cast<double>(ticks);
+}
+
+unsigned online_cpu_count() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 1U;
+}
+
+CpuUsageProbe::CpuUsageProbe() {
+  const auto cpu = process_cpu_seconds();
+  last_cpu_ = cpu.is_ok() ? cpu.value() : 0.0;
+  last_wall_ = now_wall_seconds();
+}
+
+double CpuUsageProbe::sample() {
+  const auto cpu = process_cpu_seconds();
+  const double now_cpu = cpu.is_ok() ? cpu.value() : last_cpu_;
+  const double now_wall = now_wall_seconds();
+  const double wall_delta = now_wall - last_wall_;
+  const double cpu_delta = now_cpu - last_cpu_;
+  last_cpu_ = now_cpu;
+  last_wall_ = now_wall;
+  if (wall_delta <= 0.0) {
+    return 0.0;
+  }
+  return cpu_delta / wall_delta;
+}
+
+}  // namespace gpsa

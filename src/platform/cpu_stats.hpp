@@ -1,0 +1,35 @@
+// Process CPU-time accounting, the measurement substrate for the paper's
+// Figure 11 (CPU utilization of GPSA vs. GraphChi vs. X-Stream).
+//
+// Reads /proc/self/stat (utime+stime of this process) and sysconf clock
+// ticks; utilization over an interval is cpu_time_delta / wall_delta,
+// expressed in "cores" (1.0 == one core fully busy).
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// Cumulative CPU time (user+system) consumed by this process, in seconds.
+Result<double> process_cpu_seconds();
+
+/// Number of online CPUs.
+unsigned online_cpu_count();
+
+/// Utilization probe: snapshot on construction, `sample()` returns cores
+/// busy since the previous sample (or construction) and re-arms.
+class CpuUsageProbe {
+ public:
+  CpuUsageProbe();
+
+  /// Cores busy (cpu-seconds per wall-second) since the last call.
+  double sample();
+
+ private:
+  double last_cpu_ = 0.0;
+  double last_wall_ = 0.0;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,34 @@
+#include "storage/recovery.hpp"
+
+#include "util/logging.hpp"
+
+namespace gpsa {
+
+Result<RecoveryReport> recover_value_file(ValueFile& file) {
+  RecoveryReport report;
+  report.resume_superstep = file.completed_supersteps();
+  // The dispatch column of the superstep being resumed is the column that
+  // the last *completed* superstep wrote — the immutable copy.
+  report.valid_column = ValueFile::dispatch_column(report.resume_superstep);
+  const unsigned other = 1 - report.valid_column;
+
+  const VertexId n = file.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const Payload payload = slot_payload(file.load(v, report.valid_column));
+    file.store(v, report.valid_column, make_slot(payload, /*stale=*/false));
+    file.store(v, other, make_slot(payload, /*stale=*/true));
+  }
+  report.vertices_restored = n;
+  GPSA_RETURN_IF_ERROR(file.sync());
+  GPSA_LOG(Info) << "recovered value file " << file.path() << ": resume at superstep "
+                 << report.resume_superstep << ", valid column "
+                 << report.valid_column << ", " << n << " vertices";
+  return report;
+}
+
+Result<RecoveryReport> recover_value_file_at(const std::string& path) {
+  GPSA_ASSIGN_OR_RETURN(auto file, ValueFile::open(path));
+  return recover_value_file(file);
+}
+
+}  // namespace gpsa

@@ -1,0 +1,45 @@
+// Lightweight fault tolerance (paper §IV.G).
+//
+// Within superstep s the dispatch column (s % 2) is only flag-mutated —
+// its payloads are immutable — while the update column may hold torn
+// writes if the process crashed mid-superstep. The header's
+// completed_supersteps counter (bumped by ValueFile::checkpoint after each
+// superstep) identifies which column holds the last completed superstep's
+// results.
+//
+// recover_value_file() restores a crashed file to a restartable state:
+// every vertex's payload is taken from the valid column; the dispatch
+// column for the resumed superstep is marked active (flag 0) and the
+// update column stale (flag 1). Re-activating all vertices is
+// conservative: dispatch flags in the valid column may have been partially
+// consumed before the crash, so the safe choice is to re-dispatch
+// everything. This preserves exact results for monotone apps (BFS, CC,
+// SSSP: compute is idempotent min) and restarts PageRank's crashed
+// superstep with a full contribution set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.hpp"
+#include "storage/value_file.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct RecoveryReport {
+  /// Supersteps known complete at crash time; execution resumes here.
+  std::uint64_t resume_superstep = 0;
+  /// Column that held the valid payloads.
+  unsigned valid_column = 0;
+  VertexId vertices_restored = 0;
+};
+
+/// Repairs `file` in place. Safe to call on a clean file (it simply
+/// re-arms the current superstep).
+Result<RecoveryReport> recover_value_file(ValueFile& file);
+
+/// Convenience: open + recover by path.
+Result<RecoveryReport> recover_value_file_at(const std::string& path);
+
+}  // namespace gpsa

@@ -1,0 +1,62 @@
+// Vertex-value slot encoding (paper §IV.F).
+//
+// A slot is a 32-bit word whose highest bit is the *stale flag* and whose
+// low 31 bits are the application payload:
+//
+//   flag == 1  ->  the vertex was NOT updated in the last superstep;
+//                  the dispatcher skips it (Algorithm 2, line 8).
+//   flag == 0  ->  the vertex was updated; the dispatcher generates its
+//                  messages and then re-sets the flag to 1 ("after a
+//                  dispatcher finishes processing, it will invalidate the
+//                  value of the current vertex by setting its highest bit
+//                  to 1").
+//
+// Payload interpretations: integer apps (BFS level, CC label) store values
+// < 2^31 directly; PageRank stores non-negative IEEE floats, whose sign
+// bit is always 0, so the flag occupies exactly the bit the float never
+// uses — the same trick the paper relies on.
+//
+// Note on the paper's prose: §IV.F says "At first, all the values will be
+// set [to 1]", yet Figure 5 shows superstep 0 dispatching those vertices.
+// We resolve the contradiction in favour of the algorithm listings: the
+// *initially active* vertices start with flag 0 in superstep 0's dispatch
+// column, everything else starts with flag 1.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace gpsa {
+
+using Slot = std::uint32_t;
+using Payload = std::uint32_t;  // low 31 bits meaningful
+
+inline constexpr Slot kSlotStaleBit = 0x8000'0000U;
+inline constexpr Payload kPayloadMask = 0x7fff'ffffU;
+
+/// Largest representable integer payload; used as "infinity" by BFS/SSSP.
+inline constexpr Payload kPayloadInfinity = kPayloadMask;
+
+constexpr bool slot_is_stale(Slot s) { return (s & kSlotStaleBit) != 0; }
+constexpr Slot slot_set_stale(Slot s) { return s | kSlotStaleBit; }
+constexpr Slot slot_clear_stale(Slot s) {
+  return s & static_cast<Slot>(~kSlotStaleBit);
+}
+constexpr Payload slot_payload(Slot s) { return s & kPayloadMask; }
+
+constexpr Slot make_slot(Payload payload, bool stale) {
+  const Slot base = payload & kPayloadMask;
+  return stale ? slot_set_stale(base) : base;
+}
+
+/// Non-negative float <-> payload. The float's sign bit must be 0 (checked
+/// only in debug builds; PageRank values are probabilities).
+inline Payload float_to_payload(float value) {
+  return std::bit_cast<std::uint32_t>(value) & kPayloadMask;
+}
+
+inline float payload_to_float(Payload payload) {
+  return std::bit_cast<float>(payload & kPayloadMask);
+}
+
+}  // namespace gpsa

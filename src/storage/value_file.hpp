@@ -1,0 +1,123 @@
+// The memory-mapped vertex value file (paper §IV.D/F).
+//
+// Layout: a fixed header, then |V| pairs of adjacent 32-bit slots —
+// "the two copies of the value are next to each other. The offset of the
+// value for vertex V can be calculated with |V| * sizeof(Val)":
+//
+//   [header][v0.colA v0.colB][v1.colA v1.colB]...
+//
+// Column roles alternate each superstep (Fig. 5):
+//   superstep s:  dispatch column = s % 2   (read by dispatchers, whose
+//                                            only writes are flag bits)
+//                 update   column = (s+1)%2 (written by computing actors)
+// so the column written in superstep s is the one dispatched in s+1.
+//
+// Concurrency: dispatchers own disjoint vertex intervals; computing actors
+// own disjoint vertex sets (dst mod worker-count). The one cross-role
+// overlap — a computing actor reading the dispatch-column payload while
+// the owning dispatcher sets its flag bit — is made race-free by doing all
+// slot access through std::atomic_ref with relaxed ordering (the mailbox
+// handoff provides the necessary happens-before for payloads).
+//
+// The header records `completed_supersteps`, bumped and msync'd by the
+// engine's checkpoint after each superstep; recovery (recovery.hpp) uses
+// it to locate the immutable column (§IV.G).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "graph/types.hpp"
+#include "platform/mmap_file.hpp"
+#include "storage/slot.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+struct ValueFileHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t num_vertices;
+  std::uint32_t reserved0;
+  std::uint64_t completed_supersteps;
+  char app_tag[24];  // NUL-padded; sanity check between runs
+
+  static constexpr std::uint32_t kMagic = 0x4750'5641;  // "GPVA"
+  static constexpr std::uint32_t kVersion = 1;
+};
+static_assert(sizeof(ValueFileHeader) == 48);
+
+class ValueFile {
+ public:
+  static constexpr unsigned kColumns = 2;
+
+  /// Creates the file with all slots zero (callers must initialize via the
+  /// program's init function before superstep 0).
+  static Result<ValueFile> create(const std::string& path,
+                                  VertexId num_vertices,
+                                  const std::string& app_tag);
+
+  /// Opens an existing file read-write (recovery, inspection, resume).
+  static Result<ValueFile> open(const std::string& path);
+
+  VertexId num_vertices() const { return header().num_vertices; }
+  const std::string& path() const { return map_.path(); }
+  std::string app_tag() const;
+
+  static unsigned dispatch_column(std::uint64_t superstep) {
+    return static_cast<unsigned>(superstep % 2);
+  }
+  static unsigned update_column(std::uint64_t superstep) {
+    return static_cast<unsigned>((superstep + 1) % 2);
+  }
+
+  /// Relaxed-atomic slot accessors (see concurrency note above).
+  Slot load(VertexId v, unsigned column) const {
+    return std::atomic_ref<const Slot>(slot_at(v, column))
+        .load(std::memory_order_relaxed);
+  }
+  void store(VertexId v, unsigned column, Slot value) {
+    std::atomic_ref<Slot>(slot_at(v, column))
+        .store(value, std::memory_order_relaxed);
+  }
+
+  /// Sets the stale bit of (v, column), returning the previous slot.
+  /// Used by dispatchers to consume a vertex (Algorithm 2 line 20).
+  Slot consume(VertexId v, unsigned column) {
+    return std::atomic_ref<Slot>(slot_at(v, column))
+        .fetch_or(kSlotStaleBit, std::memory_order_relaxed);
+  }
+
+  std::uint64_t completed_supersteps() const {
+    return header().completed_supersteps;
+  }
+
+  /// Checkpoint: flushes slot data, then bumps the completed counter and
+  /// flushes the header (write ordering makes the counter trustworthy).
+  Status checkpoint(std::uint64_t completed_supersteps);
+
+  Status sync() { return map_.sync(); }
+
+  /// Byte size of the whole file for `num_vertices` vertices.
+  static std::size_t file_size(VertexId num_vertices);
+
+ private:
+  ValueFileHeader& header() {
+    return *reinterpret_cast<ValueFileHeader*>(map_.data());
+  }
+  const ValueFileHeader& header() const {
+    return *reinterpret_cast<const ValueFileHeader*>(map_.data());
+  }
+
+  Slot& slot_at(VertexId v, unsigned column) const {
+    GPSA_DCHECK(v < header().num_vertices && column < kColumns);
+    Slot* slots = reinterpret_cast<Slot*>(
+        const_cast<std::byte*>(map_.data()) + sizeof(ValueFileHeader));
+    return slots[static_cast<std::size_t>(v) * kColumns + column];
+  }
+
+  MmapFile map_;
+};
+
+}  // namespace gpsa

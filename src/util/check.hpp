@@ -1,0 +1,42 @@
+// Invariant-checking macros.
+//
+// GPSA_CHECK(cond)        -- always-on check; aborts with a message on failure.
+// GPSA_DCHECK(cond)       -- debug-only check, compiled out in NDEBUG builds.
+// GPSA_UNREACHABLE(msg)   -- marks impossible control flow.
+//
+// These are used for programmer errors (broken invariants). Recoverable
+// conditions (bad input files, OS errors) are reported through
+// gpsa::Status / gpsa::Result instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpsa::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "GPSA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gpsa::detail
+
+#define GPSA_CHECK(cond)                                      \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::gpsa::detail::check_failed(#cond, __FILE__, __LINE__); \
+    }                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define GPSA_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define GPSA_DCHECK(cond) GPSA_CHECK(cond)
+#endif
+
+#define GPSA_UNREACHABLE(msg) \
+  ::gpsa::detail::check_failed(msg, __FILE__, __LINE__)

@@ -1,0 +1,95 @@
+#include "util/config.hpp"
+
+#include <charconv>
+
+namespace gpsa {
+
+Result<Config> Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view token(argv[i]);
+    if (token.rfind("--", 0) == 0) {
+      GPSA_RETURN_IF_ERROR(config.set_entry(token.substr(2)));
+    } else {
+      config.positional_.emplace_back(token);
+    }
+  }
+  return config;
+}
+
+Status Config::set_entry(std::string_view entry) {
+  if (entry.empty()) {
+    return invalid_argument("empty config entry");
+  }
+  const auto eq = entry.find('=');
+  if (eq == std::string_view::npos) {
+    set(std::string(entry), "true");
+    return Status::ok();
+  }
+  if (eq == 0) {
+    return invalid_argument("config entry has empty key: '" +
+                            std::string(entry) + "'");
+  }
+  set(std::string(entry.substr(0, eq)), std::string(entry.substr(eq + 1)));
+  return Status::ok();
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string default_value) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::move(default_value) : it->second;
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return default_value;
+  }
+  return out;
+}
+
+double Config::get_double(std::string_view key, double default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(it->second, &consumed);
+    return consumed == it->second.size() ? out : default_value;
+  } catch (...) {
+    return default_value;
+  }
+}
+
+bool Config::get_bool(std::string_view key, bool default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return default_value;
+  }
+  const auto& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") {
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "no" || s == "off") {
+    return false;
+  }
+  return default_value;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,49 @@
+// Flat key=value configuration used by example and benchmark binaries.
+//
+// Accepts `--key=value` / `--flag` command-line tokens and `key=value`
+// strings. Typed getters fall back to supplied defaults; unknown keys are
+// preserved so callers can validate or forward them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gpsa {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style tokens. Tokens that do not start with "--" are
+  /// collected as positional arguments.
+  static Result<Config> from_args(int argc, const char* const* argv);
+
+  /// Parses a single "key=value" entry ("key" alone means "key=true").
+  Status set_entry(std::string_view entry);
+
+  void set(std::string key, std::string value);
+
+  bool contains(std::string_view key) const;
+
+  std::string get_string(std::string_view key, std::string default_value) const;
+  std::int64_t get_int(std::string_view key, std::int64_t default_value) const;
+  double get_double(std::string_view key, double default_value) const;
+  bool get_bool(std::string_view key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gpsa

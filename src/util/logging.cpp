@@ -1,0 +1,78 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace gpsa {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex; empty => default stderr sink
+
+std::chrono::steady_clock::time_point start_time() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+void write_line(LogLevel level, std::string_view line) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  }
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace detail {
+
+LogStatement::LogStatement(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start_time())
+                           .count();
+  // Strip directories from __FILE__ for compact output.
+  std::string_view path(file);
+  if (auto pos = path.find_last_of('/'); pos != std::string_view::npos) {
+    path.remove_prefix(pos + 1);
+  }
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3fs %s %s:%d] ",
+                static_cast<double>(elapsed) / 1e6,
+                std::string(log_level_name(level)).c_str(),
+                std::string(path).c_str(), line);
+  stream_ << prefix;
+}
+
+LogStatement::~LogStatement() { write_line(level_, stream_.str()); }
+
+}  // namespace detail
+}  // namespace gpsa

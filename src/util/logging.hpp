@@ -1,0 +1,68 @@
+// Minimal leveled logger.
+//
+//   GPSA_LOG(INFO) << "loaded " << n << " edges";
+//
+// Messages below the global threshold are discarded without formatting.
+// Output goes to stderr with a monotonic timestamp and thread tag; the sink
+// is swappable for tests. Thread-safe: each statement is written atomically.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gpsa {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Global threshold; messages with level < threshold are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the output sink (default writes to stderr). Pass nullptr to
+/// restore the default. The sink receives fully formatted lines.
+using LogSink = std::function<void(LogLevel, std::string_view line)>;
+void set_log_sink(LogSink sink);
+
+namespace detail {
+
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, const char* file, int line);
+  ~LogStatement();
+
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op stream for disabled levels; operator<< compiles away the operands'
+/// formatting cost is avoided by the level check in the macro.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+}  // namespace gpsa
+
+#define GPSA_LOG(severity)                                             \
+  if (::gpsa::LogLevel::k##severity < ::gpsa::log_level()) {           \
+  } else                                                               \
+    ::gpsa::detail::LogStatement(::gpsa::LogLevel::k##severity,        \
+                                 __FILE__, __LINE__)

@@ -1,0 +1,121 @@
+// Unbounded multi-producer single-consumer queue with blocking consume.
+//
+// This is the substrate for actor mailboxes (src/actor/mailbox.hpp). The
+// push path is the non-intrusive Vyukov MPSC algorithm: wait-free for
+// producers (one exchange + one store). The single consumer pops in FIFO
+// order with respect to each producer, and in tail-exchange linearization
+// order across producers.
+//
+// Blocking uses an eventcount built on C++20 atomic wait/notify so that
+// producers only pay a notify syscall when a consumer is actually parked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  ~MpscQueue() {
+    // Drain remaining nodes (including the stub).
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side. Safe to call from any number of threads concurrently.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    // Between the exchange and this store the queue is momentarily
+    // "disconnected"; the consumer treats that window as empty.
+    prev->next.store(node, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      signal_.fetch_add(1, std::memory_order_relaxed);
+      signal_.notify_all();
+    }
+  }
+
+  /// Non-blocking pop. Single consumer only.
+  std::optional<T> try_pop() {
+    Node* head = head_;
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(next->value));
+    head_ = next;
+    delete head;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Blocking pop. Single consumer only. Spins briefly, then parks.
+  T pop() {
+    // Fast path: spin a little to absorb producer bursts without a futex
+    // round-trip.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (auto v = try_pop()) {
+        return std::move(*v);
+      }
+    }
+    while (true) {
+      const std::uint32_t ticket = signal_.load(std::memory_order_seq_cst);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      if (auto v = try_pop()) {
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        return std::move(*v);
+      }
+      signal_.wait(ticket, std::memory_order_seq_cst);
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      if (auto v = try_pop()) {
+        return std::move(*v);
+      }
+    }
+  }
+
+  /// Approximate number of queued elements (exact when quiescent).
+  std::size_t approx_size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  bool approx_empty() const { return approx_size() == 0; }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  // Consumer-owned head (points at the consumed stub).
+  alignas(64) Node* head_;
+  // Producer-shared tail.
+  alignas(64) std::atomic<Node*> tail_;
+  alignas(64) std::atomic<std::size_t> size_{0};
+  // Eventcount for blocking consumers.
+  std::atomic<std::uint32_t> signal_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+};
+
+}  // namespace gpsa

@@ -1,0 +1,50 @@
+// Block-partitioned parallel loop for the baseline engines (which the
+// paper describes as thread-based, in contrast to GPSA's actors).
+//
+// Spawns worker-1 threads plus the calling thread, each handling one
+// contiguous block. Coarse-grained by design: callers invoke it once per
+// phase, not per element.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+/// Calls fn(block_begin, block_end, block_index) for `threads` contiguous
+/// blocks covering [begin, end). fn must be safe to run concurrently on
+/// disjoint blocks.
+template <typename Fn>
+void parallel_for_blocks(std::uint64_t begin, std::uint64_t end,
+                         unsigned threads, Fn&& fn) {
+  GPSA_CHECK(threads >= 1);
+  const std::uint64_t total = end > begin ? end - begin : 0;
+  if (total == 0) {
+    return;
+  }
+  const unsigned blocks =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads, total));
+  if (blocks == 1) {
+    fn(begin, end, 0U);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(blocks - 1);
+  for (unsigned b = 0; b < blocks; ++b) {
+    const std::uint64_t lo = begin + total * b / blocks;
+    const std::uint64_t hi = begin + total * (b + 1) / blocks;
+    if (b + 1 == blocks) {
+      fn(lo, hi, b);  // run the last block inline
+    } else {
+      pool.emplace_back([&fn, lo, hi, b] { fn(lo, hi, b); });
+    }
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace gpsa

@@ -1,0 +1,87 @@
+// Deterministic, seedable PRNGs.
+//
+// All randomized components (graph generators, property tests, workload
+// shufflers) take an explicit seed so every experiment is reproducible.
+// SplitMix64 seeds Xoshiro256**; both are public-domain algorithms
+// (Blackman & Vigna) reimplemented here.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace gpsa {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose PRNG for generators and tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Unbiased via mask-and-reject: draw bit_width
+  /// bits, retry above the bound (expected < 2 draws).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound < 2) {
+      return 0;
+    }
+    const std::uint64_t mask = ~0ULL >> std::countl_zero(bound - 1);
+    while (true) {
+      const std::uint64_t x = next_u64() & mask;
+      if (x < bound) {
+        return x;
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace gpsa

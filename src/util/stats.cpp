@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * (n2 / total);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / total);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  GPSA_CHECK(!sorted.empty());
+  GPSA_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  RunningStat rs;
+  for (double s : samples) {
+    rs.add(s);
+  }
+  out.count = rs.count();
+  out.mean = rs.mean();
+  out.stddev = rs.stddev();
+  out.min = samples.front();
+  out.max = samples.back();
+  out.p50 = percentile_sorted(samples, 0.50);
+  out.p90 = percentile_sorted(samples, 0.90);
+  out.p99 = percentile_sorted(samples, 0.99);
+  return out;
+}
+
+std::string Summary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.4f sd=%.4f min=%.4f p50=%.4f p90=%.4f "
+                "p99=%.4f max=%.4f",
+                static_cast<unsigned long long>(count), mean, stddev, min, p50,
+                p90, p99, max);
+  return buf;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,50 @@
+#include "util/status.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace gpsa {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "OK";
+  }
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status io_error_errno(std::string msg) {
+  msg += ": ";
+  msg += std::strerror(errno);
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+
+}  // namespace gpsa

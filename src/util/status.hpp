@@ -1,0 +1,152 @@
+// Error handling: Status (code + message) and Result<T> (value or Status).
+//
+// All fallible operations in the library that can fail for environmental
+// reasons (I/O, parsing, resource limits) return Status or Result<T>.
+// Broken internal invariants use GPSA_CHECK instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruptData,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "IO_ERROR", ...).
+std::string_view status_code_name(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "IO_ERROR: <message>".
+  std::string to_string() const;
+
+  /// Aborts the process if not OK. Use at call sites where failure is a
+  /// programmer error (e.g. writing to a path the caller just created).
+  void expect_ok() const {
+    if (!is_ok()) {
+      detail::check_failed(to_string().c_str(), "Status::expect_ok", 0);
+    }
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status io_error(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status corrupt_data(std::string msg) {
+  return Status(StatusCode::kCorruptData, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Appends the current errno string to `msg` (for OS call failures).
+Status io_error_errno(std::string msg);
+
+/// Value-or-Status. Like std::expected<T, Status> (not yet in our stdlib).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit)
+  Result(Status status) : state_(std::move(status)) {
+    GPSA_CHECK(!std::get<Status>(state_).is_ok());
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    GPSA_CHECK(is_ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    GPSA_CHECK(is_ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    GPSA_CHECK(is_ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const Status& status() const {
+    static const Status kOk;
+    return is_ok() ? kOk : std::get<Status>(state_);
+  }
+
+  /// Returns the value, aborting with the status message if this is an error.
+  T expect(const char* context) && {
+    if (!is_ok()) {
+      std::string msg = std::string(context) + ": " + status().to_string();
+      detail::check_failed(msg.c_str(), "Result::expect", 0);
+    }
+    return std::get<T>(std::move(state_));
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace gpsa
+
+/// Propagates a non-OK Status from an expression that yields Status.
+#define GPSA_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::gpsa::Status gpsa_status__ = (expr);  \
+    if (!gpsa_status__.is_ok()) {           \
+      return gpsa_status__;                 \
+    }                                       \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its Status.
+/// Usage: GPSA_ASSIGN_OR_RETURN(auto file, MmapFile::open(path));
+#define GPSA_INTERNAL_CONCAT2(a, b) a##b
+#define GPSA_INTERNAL_CONCAT(a, b) GPSA_INTERNAL_CONCAT2(a, b)
+#define GPSA_ASSIGN_OR_RETURN(decl, expr) \
+  GPSA_ASSIGN_OR_RETURN_IMPL(GPSA_INTERNAL_CONCAT(gpsa_result_, __LINE__), \
+                             decl, expr)
+#define GPSA_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.is_ok()) {                               \
+    return tmp.status();                            \
+  }                                                 \
+  decl = std::move(tmp).value()

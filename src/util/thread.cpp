@@ -1,0 +1,25 @@
+#include "util/thread.hpp"
+
+#include <pthread.h>
+
+#include <cstdlib>
+
+namespace gpsa {
+
+void set_current_thread_name(const std::string& name) {
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+}
+
+unsigned default_worker_count() {
+  if (const char* env = std::getenv("GPSA_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,38 @@
+// Thread helpers: naming, concurrency sizing, and a join guard.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gpsa {
+
+/// Names the calling thread (visible in /proc and debuggers). Truncated to
+/// the platform limit (15 chars on Linux).
+void set_current_thread_name(const std::string& name);
+
+/// Worker-count default: the GPSA_THREADS environment variable when set,
+/// otherwise std::thread::hardware_concurrency() (minimum 1).
+unsigned default_worker_count();
+
+/// Joins a set of threads on destruction (exception safety for tests and
+/// the scheduler shutdown paths).
+class JoinGuard {
+ public:
+  explicit JoinGuard(std::vector<std::thread>& threads) : threads_(threads) {}
+  ~JoinGuard() {
+    for (auto& t : threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+
+  JoinGuard(const JoinGuard&) = delete;
+  JoinGuard& operator=(const JoinGuard&) = delete;
+
+ private:
+  std::vector<std::thread>& threads_;
+};
+
+}  // namespace gpsa

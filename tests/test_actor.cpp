@@ -1,0 +1,201 @@
+// Unit and stress tests for the actor runtime: mailbox delivery order,
+// scheduler fairness, wakeup races, and cross-actor messaging patterns
+// (ping-pong, fan-in) resembling the engine's dispatcher/computer flow.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "actor/actor_system.hpp"
+
+namespace gpsa {
+namespace {
+
+/// Records received ints; fulfils a promise at a target count.
+class CollectorActor final : public Actor<int> {
+ public:
+  explicit CollectorActor(std::size_t expected) : expected_(expected) {}
+
+  std::future<std::vector<int>> future() { return promise_.get_future(); }
+
+ protected:
+  void on_message(int value) override {
+    received_.push_back(value);
+    if (received_.size() == expected_) {
+      promise_.set_value(received_);
+    }
+  }
+
+ private:
+  std::size_t expected_;
+  std::vector<int> received_;
+  std::promise<std::vector<int>> promise_;
+};
+
+TEST(Actor, DeliversInOrderFromOneSender) {
+  ActorSystem system(2);
+  auto* collector = system.spawn<CollectorActor>(1000U);
+  auto future = collector->future();
+  for (int i = 0; i < 1000; ++i) {
+    collector->send(i);
+  }
+  const auto received = future.get();
+  ASSERT_EQ(received.size(), 1000U);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(received[i], i);
+  }
+  system.shutdown();
+}
+
+TEST(Actor, FanInFromManyThreadsDeliversAll) {
+  constexpr int kSenders = 8;
+  constexpr int kEach = 5000;
+  ActorSystem system(4);
+  auto* collector = system.spawn<CollectorActor>(
+      static_cast<std::size_t>(kSenders * kEach));
+  auto future = collector->future();
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kSenders; ++t) {
+    senders.emplace_back([collector, t] {
+      for (int i = 0; i < kEach; ++i) {
+        collector->send(t * kEach + i);
+      }
+    });
+  }
+  const auto received = future.get();
+  for (auto& t : senders) {
+    t.join();
+  }
+  // All distinct values must arrive exactly once.
+  std::vector<int> sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kSenders * kEach; ++i) {
+    ASSERT_EQ(sorted[i], i);
+  }
+  system.shutdown();
+}
+
+/// Forwards each message to a peer, decrementing; used for ping-pong.
+class RelayActor final : public Actor<int> {
+ public:
+  void set_peer(Actor<int>* peer) { peer_ = peer; }
+  std::future<void> done() { return promise_.get_future(); }
+
+ protected:
+  void on_message(int remaining) override {
+    if (remaining == 0) {
+      promise_.set_value();
+      return;
+    }
+    peer_->send(remaining - 1);
+  }
+
+ private:
+  Actor<int>* peer_ = nullptr;
+  std::promise<void> promise_;
+};
+
+TEST(Actor, PingPongTerminates) {
+  ActorSystem system(2);
+  auto* a = system.spawn<RelayActor>();
+  auto* b = system.spawn<RelayActor>();
+  a->set_peer(b);
+  b->set_peer(a);
+  auto done_a = a->done();
+  auto done_b = b->done();
+  a->send(100'001);  // odd count: terminates at b
+  done_b.get();
+  system.shutdown();
+}
+
+TEST(Actor, ThousandsOfActorsAllRun) {
+  // The paper claims "scalable parallelism with thousands of actors";
+  // spawn 2000 collectors and touch each once.
+  constexpr int kActors = 2000;
+  ActorSystem system(4);
+  std::vector<CollectorActor*> actors;
+  std::vector<std::future<std::vector<int>>> futures;
+  actors.reserve(kActors);
+  for (int i = 0; i < kActors; ++i) {
+    actors.push_back(system.spawn<CollectorActor>(1U));
+    futures.push_back(actors.back()->future());
+  }
+  for (int i = 0; i < kActors; ++i) {
+    actors[i]->send(i);
+  }
+  for (int i = 0; i < kActors; ++i) {
+    const auto got = futures[i].get();
+    ASSERT_EQ(got.size(), 1U);
+    EXPECT_EQ(got[0], i);
+  }
+  system.shutdown();
+}
+
+/// Counts messages; never completes a promise (for fairness test).
+class CountingActor final : public Actor<int> {
+ public:
+  std::atomic<std::uint64_t> count{0};
+
+ protected:
+  void on_message(int) override {
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+TEST(Scheduler, BatchBoundPreventsStarvation) {
+  // One worker, tiny batches: a flooded actor must not starve a second
+  // actor whose single message arrives after the flood begins.
+  ActorSystem system(1, /*batch_size=*/8);
+  auto* flooded = system.spawn<CountingActor>();
+  auto* starved = system.spawn<CollectorActor>(1U);
+  auto future = starved->future();
+  for (int i = 0; i < 100'000; ++i) {
+    flooded->send(i);
+  }
+  starved->send(7);
+  // If the scheduler let `flooded` run to completion in one slice, this
+  // future would still resolve, but only after all 100k messages; the
+  // batch bound makes it resolve promptly. Either way it must resolve.
+  const auto got = future.get();
+  EXPECT_EQ(got[0], 7);
+  system.shutdown();
+  EXPECT_GT(system.scheduler().slices_executed(), 100'000U / 8 / 2);
+}
+
+TEST(Scheduler, StopIsIdempotent) {
+  ActorSystem system(2);
+  auto* collector = system.spawn<CollectorActor>(1U);
+  collector->send(1);
+  system.shutdown();
+  system.shutdown();  // second call must be a no-op
+}
+
+TEST(Actor, MailboxSizeVisible) {
+  ActorSystem system(1);
+  // Block the single worker with a long-running actor message so queued
+  // messages are observable.
+  class Blocker final : public Actor<int> {
+   public:
+    std::atomic<bool> release{false};
+
+   protected:
+    void on_message(int) override {
+      while (!release.load()) {
+        std::this_thread::yield();
+      }
+    }
+  };
+  auto* blocker = system.spawn<Blocker>();
+  blocker->send(0);  // occupies the worker
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  blocker->send(1);
+  blocker->send(2);
+  EXPECT_GE(blocker->mailbox_size(), 2U);
+  blocker->release.store(true);
+  system.shutdown();
+}
+
+}  // namespace
+}  // namespace gpsa

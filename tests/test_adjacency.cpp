@@ -1,0 +1,165 @@
+// Tests for the adjacency-graph input format and its streaming
+// (sort-free) preprocessing path into the on-disk CSR (§V.B).
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/reference.hpp"
+#include "core/engine.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/csr.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/generators.hpp"
+#include "platform/file_util.hpp"
+#include "test_support.hpp"
+
+namespace gpsa {
+namespace {
+
+using testing::diamond_graph;
+using testing::expect_payloads_equal;
+
+TEST(Adjacency, TextRoundTrip) {
+  auto dir = ScratchDir::create("adj");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("g.adj");
+  const EdgeList graph = rmat(7, 700, 9);
+  ASSERT_TRUE(write_adjacency_text(graph, path).is_ok());
+  const auto back = read_adjacency_text(path);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  // Round trip through CSR ordering: compare canonical forms.
+  EdgeList a = graph;
+  EdgeList b = back.value();
+  b.ensure_vertices(a.num_vertices());
+  a.canonicalize(/*remove_self_loops=*/false);
+  b.canonicalize(/*remove_self_loops=*/false);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Adjacency, ParsesColonSeparatorAndComments) {
+  auto dir = ScratchDir::create("adjc");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("g.adj");
+  const char* text =
+      "# comment line\n"
+      "0: 1 2\n"
+      "\n"
+      "2 3\n";
+  ASSERT_TRUE(write_file(path, text, strlen(text)).is_ok());
+  const auto graph = read_adjacency_text(path);
+  ASSERT_TRUE(graph.is_ok());
+  EXPECT_EQ(graph.value().num_edges(), 3U);
+  EXPECT_EQ(graph.value().num_vertices(), 4U);
+}
+
+TEST(Adjacency, RejectsGarbage) {
+  auto dir = ScratchDir::create("adjbad");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("bad.adj");
+  ASSERT_TRUE(write_file(path, "0 one two\n", 10).is_ok());
+  const auto r = read_adjacency_text(path);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+class AdjacencyCsrTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AdjacencyCsrTest, StreamingPathMatchesSortPath) {
+  const bool with_degree = GetParam();
+  auto dir = ScratchDir::create("adjcsr");
+  ASSERT_TRUE(dir.is_ok());
+  const EdgeList graph = rmat(7, 900, 21);
+  const std::string adj_path = dir.value().file("g.adj");
+  ASSERT_TRUE(write_adjacency_text(graph, adj_path).is_ok());
+
+  // Streaming conversion (input is source-sorted by the writer).
+  const std::string streamed_base = dir.value().file("streamed.csr");
+  const auto report =
+      adjacency_text_to_csr(adj_path, streamed_base, with_degree);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().streamed);
+  EXPECT_EQ(report.value().num_edges, graph.num_edges());
+
+  // Reference conversion through the sorting pipeline.
+  const std::string sorted_base = dir.value().file("sorted.csr");
+  ASSERT_TRUE(
+      preprocess_edges_to_csr(graph, sorted_base, with_degree).is_ok());
+
+  const auto streamed = CsrFileReader::open(streamed_base);
+  const auto sorted = CsrFileReader::open(sorted_base);
+  ASSERT_TRUE(streamed.is_ok());
+  ASSERT_TRUE(sorted.is_ok());
+  ASSERT_EQ(streamed.value().num_vertices(), sorted.value().num_vertices());
+  for (VertexId v = 0; v < sorted.value().num_vertices(); ++v) {
+    const auto a = streamed.value().record(v);
+    const auto b = sorted.value().record(v);
+    ASSERT_EQ(a.out_degree, b.out_degree) << "vertex " << v;
+    // Target multisets match (streaming keeps input order).
+    std::vector<std::int32_t> at(a.targets.begin(), a.targets.end());
+    std::vector<std::int32_t> bt(b.targets.begin(), b.targets.end());
+    std::sort(at.begin(), at.end());
+    std::sort(bt.begin(), bt.end());
+    ASSERT_EQ(at, bt) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeVariants, AdjacencyCsrTest, ::testing::Bool(),
+                         [](const auto& param_info) {
+                           return param_info.param ? "WithDegree" : "NoDegree";
+                         });
+
+TEST(Adjacency, UnsortedInputFallsBackToSortPath) {
+  auto dir = ScratchDir::create("adjun");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("g.adj");
+  const char* text = "3 0\n1 2\n0 1\n";  // descending sources
+  ASSERT_TRUE(write_file(path, text, strlen(text)).is_ok());
+  const std::string base = dir.value().file("g.csr");
+  const auto report = adjacency_text_to_csr(path, base, true);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_FALSE(report.value().streamed);
+  const auto reader = CsrFileReader::open(base);
+  ASSERT_TRUE(reader.is_ok());
+  EXPECT_EQ(reader.value().num_edges(), 3U);
+  EXPECT_EQ(reader.value().record(3).out_degree, 1U);
+}
+
+TEST(Adjacency, TrailingIsolatedDestinations) {
+  // Destination 9 beyond the last source must yield empty records.
+  auto dir = ScratchDir::create("adjtail");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("g.adj");
+  const char* text = "0 1 9\n1 2\n";
+  ASSERT_TRUE(write_file(path, text, strlen(text)).is_ok());
+  const std::string base = dir.value().file("g.csr");
+  const auto report = adjacency_text_to_csr(path, base, true);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().streamed);
+  EXPECT_EQ(report.value().num_vertices, 10U);
+  const auto reader = CsrFileReader::open(base);
+  ASSERT_TRUE(reader.is_ok());
+  EXPECT_EQ(reader.value().record(9).out_degree, 0U);
+}
+
+TEST(Adjacency, EngineRunsFromStreamedCsr) {
+  auto dir = ScratchDir::create("adjrun");
+  ASSERT_TRUE(dir.is_ok());
+  const EdgeList graph = diamond_graph();
+  const std::string adj_path = dir.value().file("g.adj");
+  ASSERT_TRUE(write_adjacency_text(graph, adj_path).is_ok());
+  const std::string base = dir.value().file("g.csr");
+  ASSERT_TRUE(adjacency_text_to_csr(adj_path, base, true).is_ok());
+
+  const BfsProgram program(0);
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 2;
+  eo.scheduler_workers = 2;
+  eo.work_dir = dir.value().path();
+  const auto result = Engine::run_from_csr(base, program, eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  expect_payloads_equal(result.value().values,
+                        oracle_bfs_levels(Csr::from_edges(graph), 0));
+}
+
+}  // namespace
+}  // namespace gpsa

@@ -1,0 +1,147 @@
+// Tests for the simulated distributed engine: correctness across node
+// counts (location transparency), communication accounting, and load
+// balance of the two partitioning strategies.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/reference.hpp"
+#include "cluster/cluster_engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "test_support.hpp"
+
+namespace gpsa {
+namespace {
+
+using testing::expect_float_payloads_near;
+using testing::expect_payloads_equal;
+
+class ClusterNodeCountTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClusterNodeCountTest, BfsMatchesReferenceOnAnyClusterSize) {
+  const unsigned nodes = GetParam();
+  const EdgeList graph = rmat(8, 2000, 91);
+  const BfsProgram program(0);
+  ClusterOptions co;
+  co.num_nodes = nodes;
+  co.scheduler_workers = 2;
+  const auto result = ClusterEngine::run(graph, program, co);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(result.value().values, ref.values);
+  EXPECT_EQ(result.value().total_messages, ref.total_messages);
+  EXPECT_TRUE(result.value().converged);
+}
+
+TEST_P(ClusterNodeCountTest, CcMatchesReferenceOnAnyClusterSize) {
+  const unsigned nodes = GetParam();
+  const EdgeList graph = erdos_renyi(300, 800, 93);
+  const ConnectedComponentsProgram program;
+  ClusterOptions co;
+  co.num_nodes = nodes;
+  co.scheduler_workers = 2;
+  const auto result = ClusterEngine::run(graph, program, co);
+  ASSERT_TRUE(result.is_ok());
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(result.value().values, ref.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ClusterNodeCountTest,
+                         ::testing::Values(1U, 2U, 3U, 5U, 8U));
+
+TEST(Cluster, PageRankMatchesReference) {
+  const EdgeList graph = rmat(8, 2500, 95);
+  const PageRankProgram program(5);
+  ClusterOptions co;
+  co.num_nodes = 4;
+  co.scheduler_workers = 2;
+  const auto result = ClusterEngine::run(graph, program, co);
+  ASSERT_TRUE(result.is_ok());
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_float_payloads_near(result.value().values, ref.values);
+}
+
+TEST(Cluster, SingleNodeHasNoRemoteTraffic) {
+  const EdgeList graph = rmat(7, 800, 97);
+  ClusterOptions co;
+  co.num_nodes = 1;
+  co.scheduler_workers = 1;
+  const auto result = ClusterEngine::run(graph, BfsProgram(0), co);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().remote_messages, 0U);
+  EXPECT_EQ(result.value().remote_batches, 0U);
+  EXPECT_EQ(result.value().modeled_network_seconds, 0.0);
+}
+
+TEST(Cluster, RemoteTrafficGrowsWithNodeCount) {
+  const EdgeList graph = rmat(9, 6000, 99);
+  const PageRankProgram program(3);
+  std::uint64_t previous = 0;
+  for (const unsigned nodes : {2U, 4U, 8U}) {
+    ClusterOptions co;
+    co.num_nodes = nodes;
+    co.scheduler_workers = 2;
+    const auto result = ClusterEngine::run(graph, program, co);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_GT(result.value().remote_messages, previous);
+    EXPECT_LE(result.value().remote_messages,
+              result.value().total_messages);
+    previous = result.value().remote_messages;
+  }
+}
+
+TEST(Cluster, AccountingSumsAreConsistent) {
+  const EdgeList graph = rmat(8, 1500, 101);
+  ClusterOptions co;
+  co.num_nodes = 3;
+  co.scheduler_workers = 2;
+  const auto result = ClusterEngine::run(graph, PageRankProgram(4), co);
+  ASSERT_TRUE(result.is_ok());
+  const ClusterRunResult& r = result.value();
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (std::size_t i = 0; i < r.node_messages_sent.size(); ++i) {
+    sent += r.node_messages_sent[i];
+    received += r.node_messages_received[i];
+  }
+  EXPECT_EQ(sent, r.total_messages);
+  EXPECT_EQ(received, r.total_messages);
+}
+
+TEST(Cluster, EdgeBalancedPartitioningReducesSendImbalance) {
+  // Heavily skewed graph: vertex 0 owns most out-edges, so uniform
+  // intervals overload node 0's dispatcher.
+  EdgeList graph = star(4000);
+  const ConnectedComponentsProgram program;
+  double uniform_imbalance = 0.0;
+  double balanced_imbalance = 0.0;
+  for (const auto strategy : {PartitionStrategy::kUniformVertices,
+                              PartitionStrategy::kBalancedEdges}) {
+    ClusterOptions co;
+    co.num_nodes = 4;
+    co.partition = strategy;
+    co.scheduler_workers = 2;
+    const auto result = ClusterEngine::run(graph, program, co);
+    ASSERT_TRUE(result.is_ok());
+    if (strategy == PartitionStrategy::kUniformVertices) {
+      uniform_imbalance = result.value().send_imbalance();
+    } else {
+      balanced_imbalance = result.value().send_imbalance();
+    }
+  }
+  EXPECT_LT(balanced_imbalance, uniform_imbalance);
+}
+
+TEST(Cluster, RejectsBadOptions) {
+  const EdgeList graph = chain(8);
+  ClusterOptions co;
+  co.num_nodes = 0;
+  EXPECT_FALSE(ClusterEngine::run(graph, BfsProgram(0), co).is_ok());
+  const EdgeList empty;
+  EXPECT_FALSE(ClusterEngine::run(empty, BfsProgram(0), {}).is_ok());
+}
+
+}  // namespace
+}  // namespace gpsa

@@ -1,0 +1,200 @@
+// Tests for the metrics layer (CPU monitor, text tables, I/O model) and
+// the experiment harness.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "apps/bfs.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/trace.hpp"
+#include "platform/file_util.hpp"
+#include "metrics/cpu_monitor.hpp"
+#include "metrics/io_model.hpp"
+#include "metrics/table.hpp"
+
+namespace gpsa {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"x", "12345"});
+  const std::string out = table.to_string();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(CpuMonitor, CollectsSamplesDuringBusyWork) {
+  CpuMonitor monitor(0.01);
+  monitor.start();
+  volatile std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(120)) {
+    sink = sink + 1;
+  }
+  const auto report = monitor.stop();
+  EXPECT_GE(report.samples.size(), 3U);
+  EXPECT_GT(report.mean_cores, 0.1);
+  EXPECT_GE(report.peak_cores, report.mean_cores);
+  EXPECT_GT(report.mean_percent_of_machine, 0.0);
+}
+
+TEST(CpuMonitor, StopWithoutStartIsEmpty) {
+  CpuMonitor monitor;
+  const auto report = monitor.stop();
+  EXPECT_TRUE(report.samples.empty());
+  EXPECT_EQ(report.mean_cores, 0.0);
+}
+
+TEST(IoModel, AddsTransferTime) {
+  // The env default is 120 MB/s unless overridden.
+  IoStats io;
+  io.bytes_read = 120 * 1024 * 1024;
+  const double bandwidth = model_disk_bandwidth_bytes_per_sec();
+  if (bandwidth <= 0.0) {
+    GTEST_SKIP() << "modeling disabled via GPSA_MODEL_DISK_MBPS=0";
+  }
+  const double modeled = modeled_out_of_core_seconds(0.5, io);
+  EXPECT_NEAR(modeled, 0.5 + static_cast<double>(io.total()) / bandwidth,
+              1e-9);
+  EXPECT_GT(modeled, 0.5);
+}
+
+TEST(IoModel, StatsAccumulate) {
+  IoStats a{100, 50};
+  const IoStats b{10, 5};
+  a += b;
+  EXPECT_EQ(a.bytes_read, 110U);
+  EXPECT_EQ(a.bytes_written, 55U);
+  EXPECT_EQ(a.total(), 165U);
+}
+
+TEST(EngineIoStats, TracksDispatchVolume) {
+  // BFS on a chain: each superstep dispatches one vertex (3 CSR entries
+  // with degree+target+sentinel) and scans the whole value column.
+  const EdgeList graph = chain(32);
+  const BfsProgram program(0);
+  EngineOptions eo;
+  eo.num_dispatchers = 1;
+  eo.num_computers = 1;
+  eo.scheduler_workers = 1;
+  const auto result = Engine::run(graph, program, eo);
+  ASSERT_TRUE(result.is_ok());
+  const RunResult& r = result.value();
+  EXPECT_GT(r.io.bytes_read, 0U);
+  EXPECT_GT(r.io.bytes_written, 0U);
+  // Value-column checks alone are supersteps * |V| * 4 bytes.
+  EXPECT_GE(r.io.bytes_read, r.supersteps * 32 * 4);
+  // Writes: one touched vertex per superstep except the last.
+  EXPECT_EQ(r.io.bytes_written, (r.supersteps - 1) * 4);
+}
+
+TEST(Harness, SymmetrizeDoublesAndDedups) {
+  EdgeList g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // already both ways
+  g.add_edge(1, 2);
+  const EdgeList sym = symmetrize(g);
+  EXPECT_EQ(sym.num_edges(), 4U);  // 0<->1, 1<->2
+}
+
+TEST(Harness, NamesAreStable) {
+  EXPECT_EQ(system_name(SystemKind::kGpsa), "GPSA");
+  EXPECT_EQ(system_name(SystemKind::kXStream), "X-Stream");
+  EXPECT_EQ(algo_name(AlgoKind::kPageRank), "PageRank");
+  EXPECT_EQ(all_systems().size(), 3U);
+  EXPECT_EQ(paper_algos().size(), 3U);
+}
+
+TEST(Harness, RunCellProducesConsistentResults) {
+  ExperimentOptions options;
+  options.scale = 0.02;
+  options.runs = 1;
+  options.supersteps = 3;
+  options.threads = 2;
+  const EdgeList graph =
+      prepare_graph(PaperGraph::kGoogle, AlgoKind::kBfs, options);
+  for (SystemKind system : all_systems()) {
+    const auto cell = run_cell(system, AlgoKind::kBfs, graph, options);
+    ASSERT_TRUE(cell.is_ok()) << cell.status().to_string();
+    EXPECT_EQ(cell.value().supersteps, 3U);
+    EXPECT_GT(cell.value().messages, 0U);
+    EXPECT_GT(cell.value().io_bytes, 0U);
+    EXPECT_GE(cell.value().modeled_seconds, cell.value().avg_seconds);
+  }
+}
+
+TEST(Harness, AllSystemsAgreeThroughRunCellMessages) {
+  ExperimentOptions options;
+  options.scale = 0.02;
+  options.runs = 1;
+  options.supersteps = 5;
+  options.threads = 2;
+  const EdgeList graph =
+      prepare_graph(PaperGraph::kGoogle, AlgoKind::kPageRank, options);
+  std::uint64_t expected = 0;
+  for (SystemKind system : all_systems()) {
+    const auto cell =
+        run_cell(system, AlgoKind::kPageRank, graph, options);
+    ASSERT_TRUE(cell.is_ok());
+    if (expected == 0) {
+      expected = cell.value().messages;
+    }
+    EXPECT_EQ(cell.value().messages, expected)
+        << system_name(system) << " diverged";
+  }
+}
+
+TEST(Trace, CsvRoundTripsSeriesLengths) {
+  const EdgeList graph = chain(6);
+  const BfsProgram program(0);
+  EngineOptions eo;
+  eo.num_dispatchers = 1;
+  eo.num_computers = 1;
+  eo.scheduler_workers = 1;
+  const auto result = Engine::run(graph, program, eo);
+  ASSERT_TRUE(result.is_ok());
+  auto dir = ScratchDir::create("trace");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("t.csv");
+  ASSERT_TRUE(write_run_trace_csv(result.value(), path).is_ok());
+  const auto data = read_file(path);
+  ASSERT_TRUE(data.is_ok());
+  const std::string text(reinterpret_cast<const char*>(data.value().data()),
+                         data.value().size());
+  // Header plus one line per superstep.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(result.value().supersteps) + 1);
+  EXPECT_NE(text.find("superstep,seconds,messages,updates"),
+            std::string::npos);
+}
+
+TEST(Trace, TextFormatterShowsEverySuperstep) {
+  const EdgeList graph = chain(5);
+  const BfsProgram program(0);
+  EngineOptions eo;
+  eo.num_dispatchers = 1;
+  eo.num_computers = 1;
+  eo.scheduler_workers = 1;
+  const auto result = Engine::run(graph, program, eo);
+  ASSERT_TRUE(result.is_ok());
+  const std::string text = format_run_trace(result.value());
+  // Header + supersteps lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(result.value().supersteps) + 1);
+}
+
+}  // namespace
+}  // namespace gpsa

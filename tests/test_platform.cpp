@@ -1,0 +1,170 @@
+// Unit tests for the platform substrate: mmap wrapper, file utilities,
+// and CPU accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "platform/cpu_stats.hpp"
+#include "platform/file_util.hpp"
+#include "platform/mmap_file.hpp"
+
+namespace gpsa {
+namespace {
+
+TEST(ScratchDir, CreatesAndRemoves) {
+  std::string path;
+  {
+    auto dir = ScratchDir::create("test");
+    ASSERT_TRUE(dir.is_ok());
+    path = dir.value().path();
+    EXPECT_TRUE(file_exists(path));
+    ASSERT_TRUE(write_file(dir.value().file("a.txt"), "hi", 2).is_ok());
+  }
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(ScratchDir, KeepDisownsDirectory) {
+  std::string path;
+  {
+    auto dir = ScratchDir::create("keep");
+    ASSERT_TRUE(dir.is_ok());
+    path = dir.value().path();
+    dir.value().keep();
+  }
+  EXPECT_TRUE(file_exists(path));
+  ASSERT_TRUE(remove_tree(path).is_ok());
+}
+
+TEST(FileUtil, WriteReadRoundTrip) {
+  auto dir = ScratchDir::create("io");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("data.bin");
+  const std::string payload("hello\0gpsa binary", 17);
+  ASSERT_TRUE(write_file(path, payload.data(), payload.size()).is_ok());
+  const auto read = read_file(path);
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().size(), payload.size());
+  EXPECT_EQ(std::memcmp(read.value().data(), payload.data(), payload.size()),
+            0);
+  const auto size = file_size(path);
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_EQ(size.value(), payload.size());
+}
+
+TEST(FileUtil, ReadMissingFileIsNotFound) {
+  const auto r = read_file("/nonexistent/gpsa/file");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileUtil, RemoveTreeRefusesRoot) {
+  EXPECT_FALSE(remove_tree("/").is_ok());
+  EXPECT_FALSE(remove_tree("").is_ok());
+}
+
+TEST(MmapFile, CreateWriteReopenRead) {
+  auto dir = ScratchDir::create("mmap");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("map.bin");
+  {
+    auto file = MmapFile::create(path, 4096);
+    ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+    auto span = file.value().as_span<std::uint32_t>();
+    ASSERT_EQ(span.size(), 1024U);
+    for (std::uint32_t i = 0; i < span.size(); ++i) {
+      span[i] = i * 3;
+    }
+    ASSERT_TRUE(file.value().sync().is_ok());
+  }
+  {
+    auto file = MmapFile::open(path, MmapFile::Mode::kReadOnly);
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().size(), 4096U);
+    auto span = file.value().as_span<const std::uint32_t>();
+    for (std::uint32_t i = 0; i < span.size(); ++i) {
+      ASSERT_EQ(span[i], i * 3);
+    }
+  }
+}
+
+TEST(MmapFile, CreateZeroFillsContents) {
+  auto dir = ScratchDir::create("mmap0");
+  ASSERT_TRUE(dir.is_ok());
+  auto file = MmapFile::create(dir.value().file("z.bin"), 512);
+  ASSERT_TRUE(file.is_ok());
+  for (std::byte b : file.value().as_span<const std::byte>()) {
+    ASSERT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(MmapFile, OpenMissingFails) {
+  const auto r = MmapFile::open("/nonexistent/x.bin",
+                                MmapFile::Mode::kReadOnly);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(MmapFile, RejectsZeroSizeCreate) {
+  auto dir = ScratchDir::create("mmapz");
+  ASSERT_TRUE(dir.is_ok());
+  const auto r = MmapFile::create(dir.value().file("zero.bin"), 0);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MmapFile, MoveTransfersOwnership) {
+  auto dir = ScratchDir::create("mmapmv");
+  ASSERT_TRUE(dir.is_ok());
+  auto file = MmapFile::create(dir.value().file("mv.bin"), 64);
+  ASSERT_TRUE(file.is_ok());
+  MmapFile moved = std::move(file).value();
+  EXPECT_TRUE(moved.is_mapped());
+  EXPECT_EQ(moved.size(), 64U);
+  MmapFile assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.is_mapped());
+  EXPECT_FALSE(moved.is_mapped());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(MmapFile, AdviceCallsSucceed) {
+  auto dir = ScratchDir::create("mmapadv");
+  ASSERT_TRUE(dir.is_ok());
+  auto file = MmapFile::create(dir.value().file("adv.bin"), 4096);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_TRUE(file.value().advise(MmapFile::Advice::kSequential).is_ok());
+  EXPECT_TRUE(file.value().advise(MmapFile::Advice::kRandom).is_ok());
+  EXPECT_TRUE(file.value().advise(MmapFile::Advice::kWillNeed).is_ok());
+  EXPECT_TRUE(file.value().advise(MmapFile::Advice::kNormal).is_ok());
+}
+
+TEST(CpuStats, ProcessCpuSecondsMonotone) {
+  const auto before = process_cpu_seconds();
+  ASSERT_TRUE(before.is_ok());
+  // Burn a little CPU.
+  volatile double sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  const auto after = process_cpu_seconds();
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_GE(after.value(), before.value());
+}
+
+TEST(CpuStats, ProbeReportsBusyLoop) {
+  CpuUsageProbe probe;
+  volatile std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(100)) {
+    sink = sink + 1;
+  }
+  const double cores = probe.sample();
+  EXPECT_GT(cores, 0.2);  // busy-looped for most of the window
+}
+
+TEST(CpuStats, OnlineCpuCountPositive) {
+  EXPECT_GE(online_cpu_count(), 1U);
+}
+
+}  // namespace
+}  // namespace gpsa

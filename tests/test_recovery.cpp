@@ -1,0 +1,216 @@
+// Fault-tolerance integration tests (paper §IV.G).
+//
+// Scenario: run part of a computation with per-superstep checkpointing,
+// simulate a mid-superstep crash by tearing the mutable column (and the
+// dispatch flags the crashed superstep had partially consumed), then
+// resume from the same files. Monotone apps must converge to exactly the
+// no-crash result.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/reference.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "platform/file_util.hpp"
+#include "storage/value_file.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace gpsa {
+namespace {
+
+using testing::expect_payloads_equal;
+
+/// Overwrites the crashed superstep's update column with garbage and
+/// randomly consumes dispatch flags — what a crash mid-superstep leaves.
+void tear_value_file(const std::string& path, std::uint64_t seed) {
+  auto file = ValueFile::open(path);
+  ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+  ValueFile& vf = file.value();
+  const std::uint64_t resume = vf.completed_supersteps();
+  const unsigned update_col = ValueFile::update_column(resume);
+  const unsigned dispatch_col = ValueFile::dispatch_column(resume);
+  Rng rng(seed);
+  for (VertexId v = 0; v < vf.num_vertices(); ++v) {
+    if (rng.next_bool(0.7)) {
+      vf.store(v, update_col,
+               make_slot(static_cast<Payload>(rng.next_below(kPayloadMask)),
+                         rng.next_bool(0.5)));
+    }
+    if (rng.next_bool(0.4)) {
+      vf.consume(v, dispatch_col);  // partially-dispatched flags
+    }
+  }
+}
+
+struct CrashCase {
+  const char* name;
+  std::uint64_t crash_after;  // completed supersteps before the crash
+};
+
+class CrashRecoveryTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashRecoveryTest, BfsSurvivesMidSuperstepCrash) {
+  const std::uint64_t crash_after = GetParam().crash_after;
+  const EdgeList graph = rmat(8, 2000, 55);
+  const BfsProgram program(0);
+
+  auto dir = ScratchDir::create("crash");
+  ASSERT_TRUE(dir.is_ok());
+
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 2;
+  eo.scheduler_workers = 2;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+
+  // Phase 1: run `crash_after` supersteps, then "crash".
+  EngineOptions partial = eo;
+  partial.max_supersteps = crash_after;
+  const auto first = Engine::run(graph, program, partial);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  const std::string value_path = dir.value().file("bfs.values");
+  ASSERT_TRUE(file_exists(value_path));
+  tear_value_file(value_path, /*seed=*/crash_after * 31 + 7);
+
+  // Phase 2: resume from the crashed files and run to convergence.
+  const auto resumed = Engine::run_from_csr(dir.value().file("graph.csr"),
+                                            program, eo, /*resume=*/true);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_TRUE(resumed.value().converged);
+
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(resumed.value().values, ref.values);
+}
+
+TEST_P(CrashRecoveryTest, CcSurvivesMidSuperstepCrash) {
+  const std::uint64_t crash_after = GetParam().crash_after;
+  const EdgeList graph = erdos_renyi(300, 900, 77);
+  const ConnectedComponentsProgram program;
+
+  auto dir = ScratchDir::create("crashcc");
+  ASSERT_TRUE(dir.is_ok());
+
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 3;
+  eo.scheduler_workers = 2;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+
+  EngineOptions partial = eo;
+  partial.max_supersteps = crash_after;
+  const auto first = Engine::run(graph, program, partial);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  tear_value_file(dir.value().file("cc.values"), crash_after * 13 + 3);
+
+  const auto resumed = Engine::run_from_csr(dir.value().file("graph.csr"),
+                                            program, eo, /*resume=*/true);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(resumed.value().values, ref.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashPoints, CrashRecoveryTest,
+    ::testing::Values(CrashCase{"AfterOne", 1}, CrashCase{"AfterTwo", 2},
+                      CrashCase{"AfterThree", 3}, CrashCase{"AfterFive", 5}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(CrashRecovery, ResumeRejectsWrongApp) {
+  const EdgeList graph = chain(16);
+  auto dir = ScratchDir::create("crashapp");
+  ASSERT_TRUE(dir.is_ok());
+  EngineOptions eo;
+  eo.num_dispatchers = 1;
+  eo.num_computers = 1;
+  eo.scheduler_workers = 1;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+  eo.max_supersteps = 2;
+  ASSERT_TRUE(Engine::run(graph, BfsProgram(0), eo).is_ok());
+  // Try to resume the BFS value file under the CC program: the app tag
+  // check must refuse.
+  auto bad = Engine::run_from_csr(dir.value().file("graph.csr"),
+                                  ConnectedComponentsProgram(), eo,
+                                  /*resume=*/true);
+  // CC's value file does not exist yet, so this creates a fresh one — OK.
+  ASSERT_TRUE(bad.is_ok());
+  // But resuming the BFS file with a program named differently fails: force
+  // the collision by renaming.
+  auto data = read_file(dir.value().file("bfs.values"));
+  ASSERT_TRUE(data.is_ok());
+  ASSERT_TRUE(write_file(dir.value().file("cc.values"),
+                         data.value().data(), data.value().size())
+                  .is_ok());
+  bad = Engine::run_from_csr(dir.value().file("graph.csr"),
+                             ConnectedComponentsProgram(), eo,
+                             /*resume=*/true);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CrashRecovery, CleanResumeWithoutCrashAlsoConverges) {
+  // Resume on an untorn checkpoint: conservative re-activation must not
+  // change the final answer.
+  const EdgeList graph = grid(10, 10);
+  const BfsProgram program(0);
+  auto dir = ScratchDir::create("cleanresume");
+  ASSERT_TRUE(dir.is_ok());
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 2;
+  eo.scheduler_workers = 2;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+  EngineOptions partial = eo;
+  partial.max_supersteps = 4;
+  ASSERT_TRUE(Engine::run(graph, program, partial).is_ok());
+  const auto resumed = Engine::run_from_csr(dir.value().file("graph.csr"),
+                                            program, eo, /*resume=*/true);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  expect_payloads_equal(resumed.value().values,
+                        oracle_bfs_levels(Csr::from_edges(graph), 0));
+}
+
+TEST(CrashRecovery, ResumedPageRankKeepsGraphScaledTeleport) {
+  // PageRank caches (1-d)/N during init(); a resumed run never
+  // re-initializes values, but must still see the vertex count — with an
+  // unscaled teleport every touched rank would jump to >= 0.15.
+  const EdgeList graph = rmat(8, 3000, 88);  // N = 256
+  const PageRankProgram program(6);
+  auto dir = ScratchDir::create("prresume");
+  ASSERT_TRUE(dir.is_ok());
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 2;
+  eo.scheduler_workers = 2;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+  EngineOptions partial = eo;
+  partial.max_supersteps = 2;
+  ASSERT_TRUE(Engine::run(graph, program, partial).is_ok());
+  EngineOptions rest = eo;
+  rest.max_supersteps = 4;
+  const auto resumed =
+      Engine::run_from_csr(dir.value().file("graph.csr"), program, rest,
+                           /*resume=*/true);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  double total = 0.0;
+  for (Payload p : resumed.value().values) {
+    const double rank = payload_to_float(p);
+    ASSERT_LT(rank, 0.12) << "teleport term lost its 1/N scaling";
+    total += rank;
+  }
+  // Rank mass stays near 1 (recovery re-dispatch can only add the odd
+  // dangling contribution).
+  EXPECT_GT(total, 0.5);
+  EXPECT_LT(total, 1.6);
+}
+
+}  // namespace
+}  // namespace gpsa

@@ -1,0 +1,207 @@
+// Unit tests for the storage substrate: slot encoding (the paper's MSB
+// flag protocol), the two-column value file, column-role alternation,
+// checkpointing, and crash recovery (§IV.G).
+#include <gtest/gtest.h>
+
+#include "platform/file_util.hpp"
+#include "storage/recovery.hpp"
+#include "storage/slot.hpp"
+#include "storage/value_file.hpp"
+
+namespace gpsa {
+namespace {
+
+// --- Slot encoding -----------------------------------------------------------
+
+TEST(Slot, FlagRoundTrip) {
+  const Slot s = make_slot(12345, /*stale=*/true);
+  EXPECT_TRUE(slot_is_stale(s));
+  EXPECT_EQ(slot_payload(s), 12345U);
+  const Slot cleared = slot_clear_stale(s);
+  EXPECT_FALSE(slot_is_stale(cleared));
+  EXPECT_EQ(slot_payload(cleared), 12345U);
+  EXPECT_TRUE(slot_is_stale(slot_set_stale(cleared)));
+}
+
+TEST(Slot, PayloadMaskKeepsLow31Bits) {
+  const Slot s = make_slot(0xffff'ffffU, /*stale=*/false);
+  EXPECT_EQ(slot_payload(s), kPayloadMask);
+  EXPECT_FALSE(slot_is_stale(s));
+}
+
+TEST(Slot, FloatPayloadsSurviveRoundTrip) {
+  for (float f : {0.0F, 1.0F, 0.15F, 1.0F / 3.0F, 1e-30F, 2.5e20F}) {
+    const Payload p = float_to_payload(f);
+    EXPECT_EQ(payload_to_float(p), f) << f;
+    // The flag bit must not disturb the payload (sign bit is free for
+    // non-negative floats — the paper's trick).
+    EXPECT_EQ(payload_to_float(slot_payload(make_slot(p, true))), f);
+  }
+}
+
+TEST(Slot, InfinityIsMaxPayload) {
+  EXPECT_EQ(kPayloadInfinity, 0x7fff'ffffU);
+  EXPECT_FALSE(slot_is_stale(make_slot(kPayloadInfinity, false)));
+}
+
+// --- Column roles ------------------------------------------------------------
+
+TEST(ValueFile, ColumnRolesAlternate) {
+  EXPECT_EQ(ValueFile::dispatch_column(0), 0U);
+  EXPECT_EQ(ValueFile::update_column(0), 1U);
+  EXPECT_EQ(ValueFile::dispatch_column(1), 1U);
+  EXPECT_EQ(ValueFile::update_column(1), 0U);
+  // The column written in superstep s is dispatched in s+1.
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(ValueFile::update_column(s), ValueFile::dispatch_column(s + 1));
+  }
+}
+
+// --- ValueFile ---------------------------------------------------------------
+
+class ValueFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = ScratchDir::create("vf");
+    ASSERT_TRUE(dir.is_ok());
+    dir_.emplace(std::move(dir).value());
+    path_ = dir_->file("app.values");
+  }
+
+  std::optional<ScratchDir> dir_;
+  std::string path_;
+};
+
+TEST_F(ValueFileTest, CreateStoreLoad) {
+  auto file = ValueFile::create(path_, 16, "bfs");
+  ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+  ValueFile& vf = file.value();
+  EXPECT_EQ(vf.num_vertices(), 16U);
+  EXPECT_EQ(vf.app_tag(), "bfs");
+  EXPECT_EQ(vf.completed_supersteps(), 0U);
+  vf.store(3, 0, make_slot(77, false));
+  vf.store(3, 1, make_slot(88, true));
+  EXPECT_EQ(slot_payload(vf.load(3, 0)), 77U);
+  EXPECT_TRUE(slot_is_stale(vf.load(3, 1)));
+  EXPECT_EQ(slot_payload(vf.load(3, 1)), 88U);
+}
+
+TEST_F(ValueFileTest, ConsumeSetsStaleAndReturnsPrevious) {
+  auto file = ValueFile::create(path_, 4, "cc");
+  ASSERT_TRUE(file.is_ok());
+  ValueFile& vf = file.value();
+  vf.store(1, 0, make_slot(5, false));
+  const Slot prev = vf.consume(1, 0);
+  EXPECT_FALSE(slot_is_stale(prev));
+  EXPECT_EQ(slot_payload(prev), 5U);
+  EXPECT_TRUE(slot_is_stale(vf.load(1, 0)));
+  EXPECT_EQ(slot_payload(vf.load(1, 0)), 5U);  // payload untouched
+}
+
+TEST_F(ValueFileTest, PersistsAcrossReopen) {
+  {
+    auto file = ValueFile::create(path_, 8, "pagerank");
+    ASSERT_TRUE(file.is_ok());
+    file.value().store(7, 1, make_slot(123, false));
+    ASSERT_TRUE(file.value().checkpoint(3).is_ok());
+  }
+  auto reopened = ValueFile::open(path_);
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  EXPECT_EQ(reopened.value().num_vertices(), 8U);
+  EXPECT_EQ(reopened.value().app_tag(), "pagerank");
+  EXPECT_EQ(reopened.value().completed_supersteps(), 3U);
+  EXPECT_EQ(slot_payload(reopened.value().load(7, 1)), 123U);
+}
+
+TEST_F(ValueFileTest, OpenRejectsWrongMagic) {
+  const char junk[128] = {};
+  ASSERT_TRUE(write_file(path_, junk, sizeof(junk)).is_ok());
+  const auto r = ValueFile::open(path_);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+TEST_F(ValueFileTest, OpenRejectsTruncatedFile) {
+  {
+    auto file = ValueFile::create(path_, 8, "bfs");
+    ASSERT_TRUE(file.is_ok());
+  }
+  // Truncate to header-only: size check must fail.
+  auto data = read_file(path_);
+  ASSERT_TRUE(data.is_ok());
+  ASSERT_TRUE(
+      write_file(path_, data.value().data(), sizeof(ValueFileHeader)).is_ok());
+  EXPECT_FALSE(ValueFile::open(path_).is_ok());
+}
+
+TEST_F(ValueFileTest, RejectsZeroVertices) {
+  EXPECT_FALSE(ValueFile::create(path_, 0, "x").is_ok());
+}
+
+TEST_F(ValueFileTest, FileSizeFormula) {
+  EXPECT_EQ(ValueFile::file_size(10),
+            sizeof(ValueFileHeader) + 10 * 2 * sizeof(Slot));
+}
+
+// --- Recovery (§IV.G) --------------------------------------------------------
+
+TEST_F(ValueFileTest, RecoveryRestoresFromValidColumn) {
+  // Simulate: superstep 0 and 1 completed (checkpoint=2); superstep 2
+  // crashed mid-update. Dispatch column of superstep 2 is column 0 (the
+  // immutable copy from superstep 1); column 1 holds torn garbage.
+  auto file = ValueFile::create(path_, 4, "cc");
+  ASSERT_TRUE(file.is_ok());
+  ValueFile& vf = file.value();
+  for (VertexId v = 0; v < 4; ++v) {
+    vf.store(v, 0, make_slot(100 + v, v % 2 == 0));  // valid payloads
+    vf.store(v, 1, make_slot(0x7abcdef, false));     // torn writes
+  }
+  ASSERT_TRUE(vf.checkpoint(2).is_ok());
+
+  const auto report = recover_value_file(vf);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().resume_superstep, 2U);
+  EXPECT_EQ(report.value().valid_column, 0U);
+  EXPECT_EQ(report.value().vertices_restored, 4U);
+  for (VertexId v = 0; v < 4; ++v) {
+    // Valid column: payload kept, re-activated for conservative re-dispatch.
+    EXPECT_EQ(slot_payload(vf.load(v, 0)), 100 + v);
+    EXPECT_FALSE(slot_is_stale(vf.load(v, 0)));
+    // Other column: payload copied, stale.
+    EXPECT_EQ(slot_payload(vf.load(v, 1)), 100 + v);
+    EXPECT_TRUE(slot_is_stale(vf.load(v, 1)));
+  }
+}
+
+TEST_F(ValueFileTest, RecoveryAfterOddSuperstepUsesColumnOne) {
+  // checkpoint=3: superstep 3 dispatches from column 1.
+  auto file = ValueFile::create(path_, 2, "bfs");
+  ASSERT_TRUE(file.is_ok());
+  ValueFile& vf = file.value();
+  vf.store(0, 1, make_slot(42, true));
+  vf.store(0, 0, make_slot(999, false));  // torn
+  ASSERT_TRUE(vf.checkpoint(3).is_ok());
+  const auto report = recover_value_file(vf);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().valid_column, 1U);
+  EXPECT_EQ(slot_payload(vf.load(0, 0)), 42U);
+  EXPECT_EQ(slot_payload(vf.load(0, 1)), 42U);
+}
+
+TEST_F(ValueFileTest, RecoveryByPathWorks) {
+  {
+    auto file = ValueFile::create(path_, 3, "sssp");
+    ASSERT_TRUE(file.is_ok());
+    file.value().store(2, 0, make_slot(7, true));
+    ASSERT_TRUE(file.value().checkpoint(0).is_ok());
+  }
+  const auto report = recover_value_file_at(path_);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().resume_superstep, 0U);
+  auto reopened = ValueFile::open(path_);
+  ASSERT_TRUE(reopened.is_ok());
+  EXPECT_FALSE(slot_is_stale(reopened.value().load(2, 0)));
+}
+
+}  // namespace
+}  // namespace gpsa

@@ -1,0 +1,52 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "storage/slot.hpp"
+
+namespace gpsa::testing {
+
+/// Compares integer payload vectors exactly, reporting the first diff.
+inline void expect_payloads_equal(const std::vector<Payload>& actual,
+                                  const std::vector<Payload>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t v = 0; v < actual.size(); ++v) {
+    ASSERT_EQ(actual[v], expected[v]) << "vertex " << v;
+  }
+}
+
+/// Compares float-payload vectors within a relative tolerance (fold order
+/// differs across engines).
+inline void expect_float_payloads_near(const std::vector<Payload>& actual,
+                                       const std::vector<Payload>& expected,
+                                       double rel_tol = 1e-4) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t v = 0; v < actual.size(); ++v) {
+    const double a = payload_to_float(actual[v]);
+    const double e = payload_to_float(expected[v]);
+    const double scale = std::max({std::fabs(a), std::fabs(e), 1e-12});
+    ASSERT_LE(std::fabs(a - e) / scale, rel_tol)
+        << "vertex " << v << ": " << a << " vs " << e;
+  }
+}
+
+/// Small fixed digraph used across suites:
+///
+///   0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4, 5 isolated
+inline EdgeList diamond_graph() {
+  EdgeList g;
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.ensure_vertices(6);
+  return g;
+}
+
+}  // namespace gpsa::testing
