@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_actors.dir/bench_ablation_actors.cpp.o"
+  "CMakeFiles/bench_ablation_actors.dir/bench_ablation_actors.cpp.o.d"
+  "bench_ablation_actors"
+  "bench_ablation_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

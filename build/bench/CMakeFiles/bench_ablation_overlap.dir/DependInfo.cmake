@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_overlap.cpp" "bench/CMakeFiles/bench_ablation_overlap.dir/bench_ablation_overlap.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_overlap.dir/bench_ablation_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpsa_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gpsa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gpsa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpsa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gpsa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpsa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gpsa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/gpsa_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpsa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/gpsa_actor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_skipflag.dir/bench_ablation_skipflag.cpp.o"
+  "CMakeFiles/bench_ablation_skipflag.dir/bench_ablation_skipflag.cpp.o.d"
+  "bench_ablation_skipflag"
+  "bench_ablation_skipflag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skipflag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

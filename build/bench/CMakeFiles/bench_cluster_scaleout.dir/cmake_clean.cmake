@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_scaleout.dir/bench_cluster_scaleout.cpp.o"
+  "CMakeFiles/bench_cluster_scaleout.dir/bench_cluster_scaleout.cpp.o.d"
+  "bench_cluster_scaleout"
+  "bench_cluster_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_google.dir/bench_fig07_google.cpp.o"
+  "CMakeFiles/bench_fig07_google.dir/bench_fig07_google.cpp.o.d"
+  "bench_fig07_google"
+  "bench_fig07_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

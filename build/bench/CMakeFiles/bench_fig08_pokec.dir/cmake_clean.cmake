@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pokec.dir/bench_fig08_pokec.cpp.o"
+  "CMakeFiles/bench_fig08_pokec.dir/bench_fig08_pokec.cpp.o.d"
+  "bench_fig08_pokec"
+  "bench_fig08_pokec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pokec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_journal.dir/bench_fig09_journal.cpp.o"
+  "CMakeFiles/bench_fig09_journal.dir/bench_fig09_journal.cpp.o.d"
+  "bench_fig09_journal"
+  "bench_fig09_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

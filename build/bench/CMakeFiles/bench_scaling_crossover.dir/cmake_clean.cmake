@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_crossover.dir/bench_scaling_crossover.cpp.o"
+  "CMakeFiles/bench_scaling_crossover.dir/bench_scaling_crossover.cpp.o.d"
+  "bench_scaling_crossover"
+  "bench_scaling_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_cli.dir/gpsa_cli.cpp.o"
+  "CMakeFiles/gpsa_cli.dir/gpsa_cli.cpp.o.d"
+  "gpsa_cli"
+  "gpsa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

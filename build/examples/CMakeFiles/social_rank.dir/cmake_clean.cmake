@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_rank.dir/social_rank.cpp.o"
+  "CMakeFiles/social_rank.dir/social_rank.cpp.o.d"
+  "social_rank"
+  "social_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actor/actor_system.cpp" "src/actor/CMakeFiles/gpsa_actor.dir/actor_system.cpp.o" "gcc" "src/actor/CMakeFiles/gpsa_actor.dir/actor_system.cpp.o.d"
+  "/root/repo/src/actor/scheduler.cpp" "src/actor/CMakeFiles/gpsa_actor.dir/scheduler.cpp.o" "gcc" "src/actor/CMakeFiles/gpsa_actor.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

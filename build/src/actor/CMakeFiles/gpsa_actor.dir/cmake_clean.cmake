@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_actor.dir/actor_system.cpp.o"
+  "CMakeFiles/gpsa_actor.dir/actor_system.cpp.o.d"
+  "CMakeFiles/gpsa_actor.dir/scheduler.cpp.o"
+  "CMakeFiles/gpsa_actor.dir/scheduler.cpp.o.d"
+  "libgpsa_actor.a"
+  "libgpsa_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_apps.dir/bfs.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/bfs.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/cc.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/cc.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/degree_count.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/degree_count.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/multi_bfs.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/multi_bfs.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/reference.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/reference.cpp.o.d"
+  "CMakeFiles/gpsa_apps.dir/sssp.cpp.o"
+  "CMakeFiles/gpsa_apps.dir/sssp.cpp.o.d"
+  "libgpsa_apps.a"
+  "libgpsa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_baselines.dir/common/baseline_result.cpp.o"
+  "CMakeFiles/gpsa_baselines.dir/common/baseline_result.cpp.o.d"
+  "CMakeFiles/gpsa_baselines.dir/graphchi/psw_engine.cpp.o"
+  "CMakeFiles/gpsa_baselines.dir/graphchi/psw_engine.cpp.o.d"
+  "CMakeFiles/gpsa_baselines.dir/graphchi/shard.cpp.o"
+  "CMakeFiles/gpsa_baselines.dir/graphchi/shard.cpp.o.d"
+  "CMakeFiles/gpsa_baselines.dir/xstream/xstream_engine.cpp.o"
+  "CMakeFiles/gpsa_baselines.dir/xstream/xstream_engine.cpp.o.d"
+  "libgpsa_baselines.a"
+  "libgpsa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

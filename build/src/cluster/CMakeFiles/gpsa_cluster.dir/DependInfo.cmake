@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_engine.cpp" "src/cluster/CMakeFiles/gpsa_cluster.dir/cluster_engine.cpp.o" "gcc" "src/cluster/CMakeFiles/gpsa_cluster.dir/cluster_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/gpsa_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpsa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gpsa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpsa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gpsa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/gpsa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

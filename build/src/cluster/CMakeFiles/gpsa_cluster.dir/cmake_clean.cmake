@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_cluster.dir/cluster_engine.cpp.o"
+  "CMakeFiles/gpsa_cluster.dir/cluster_engine.cpp.o.d"
+  "libgpsa_cluster.a"
+  "libgpsa_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_core.dir/computer.cpp.o"
+  "CMakeFiles/gpsa_core.dir/computer.cpp.o.d"
+  "CMakeFiles/gpsa_core.dir/dispatcher.cpp.o"
+  "CMakeFiles/gpsa_core.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/gpsa_core.dir/engine.cpp.o"
+  "CMakeFiles/gpsa_core.dir/engine.cpp.o.d"
+  "CMakeFiles/gpsa_core.dir/manager.cpp.o"
+  "CMakeFiles/gpsa_core.dir/manager.cpp.o.d"
+  "libgpsa_core.a"
+  "libgpsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpsa_core.a"
+)

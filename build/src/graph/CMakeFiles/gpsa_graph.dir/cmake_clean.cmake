@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_graph.dir/adjacency.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/adjacency.cpp.o.d"
+  "CMakeFiles/gpsa_graph.dir/csr.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gpsa_graph.dir/csr_file.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/csr_file.cpp.o.d"
+  "CMakeFiles/gpsa_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/gpsa_graph.dir/generators.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gpsa_graph.dir/partition.cpp.o"
+  "CMakeFiles/gpsa_graph.dir/partition.cpp.o.d"
+  "libgpsa_graph.a"
+  "libgpsa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_harness.dir/experiment.cpp.o"
+  "CMakeFiles/gpsa_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/gpsa_harness.dir/trace.cpp.o"
+  "CMakeFiles/gpsa_harness.dir/trace.cpp.o.d"
+  "libgpsa_harness.a"
+  "libgpsa_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

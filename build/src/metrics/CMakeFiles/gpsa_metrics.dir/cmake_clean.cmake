@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_metrics.dir/cpu_monitor.cpp.o"
+  "CMakeFiles/gpsa_metrics.dir/cpu_monitor.cpp.o.d"
+  "CMakeFiles/gpsa_metrics.dir/io_model.cpp.o"
+  "CMakeFiles/gpsa_metrics.dir/io_model.cpp.o.d"
+  "CMakeFiles/gpsa_metrics.dir/table.cpp.o"
+  "CMakeFiles/gpsa_metrics.dir/table.cpp.o.d"
+  "libgpsa_metrics.a"
+  "libgpsa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

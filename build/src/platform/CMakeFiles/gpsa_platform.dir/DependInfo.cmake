@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cpu_stats.cpp" "src/platform/CMakeFiles/gpsa_platform.dir/cpu_stats.cpp.o" "gcc" "src/platform/CMakeFiles/gpsa_platform.dir/cpu_stats.cpp.o.d"
+  "/root/repo/src/platform/file_util.cpp" "src/platform/CMakeFiles/gpsa_platform.dir/file_util.cpp.o" "gcc" "src/platform/CMakeFiles/gpsa_platform.dir/file_util.cpp.o.d"
+  "/root/repo/src/platform/mmap_file.cpp" "src/platform/CMakeFiles/gpsa_platform.dir/mmap_file.cpp.o" "gcc" "src/platform/CMakeFiles/gpsa_platform.dir/mmap_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_platform.dir/cpu_stats.cpp.o"
+  "CMakeFiles/gpsa_platform.dir/cpu_stats.cpp.o.d"
+  "CMakeFiles/gpsa_platform.dir/file_util.cpp.o"
+  "CMakeFiles/gpsa_platform.dir/file_util.cpp.o.d"
+  "CMakeFiles/gpsa_platform.dir/mmap_file.cpp.o"
+  "CMakeFiles/gpsa_platform.dir/mmap_file.cpp.o.d"
+  "libgpsa_platform.a"
+  "libgpsa_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_storage.dir/recovery.cpp.o"
+  "CMakeFiles/gpsa_storage.dir/recovery.cpp.o.d"
+  "CMakeFiles/gpsa_storage.dir/value_file.cpp.o"
+  "CMakeFiles/gpsa_storage.dir/value_file.cpp.o.d"
+  "libgpsa_storage.a"
+  "libgpsa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsa_util.dir/config.cpp.o"
+  "CMakeFiles/gpsa_util.dir/config.cpp.o.d"
+  "CMakeFiles/gpsa_util.dir/logging.cpp.o"
+  "CMakeFiles/gpsa_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gpsa_util.dir/stats.cpp.o"
+  "CMakeFiles/gpsa_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gpsa_util.dir/status.cpp.o"
+  "CMakeFiles/gpsa_util.dir/status.cpp.o.d"
+  "CMakeFiles/gpsa_util.dir/thread.cpp.o"
+  "CMakeFiles/gpsa_util.dir/thread.cpp.o.d"
+  "libgpsa_util.a"
+  "libgpsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actor.dir/test_actor.cpp.o"
+  "CMakeFiles/test_actor.dir/test_actor.cpp.o.d"
+  "test_actor"
+  "test_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adjacency.dir/test_adjacency.cpp.o"
+  "CMakeFiles/test_adjacency.dir/test_adjacency.cpp.o.d"
+  "test_adjacency"
+  "test_adjacency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
