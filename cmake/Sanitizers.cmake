@@ -1,0 +1,80 @@
+# Sanitizer support for the whole build (tentpole of the correctness PR).
+#
+# Usage:
+#   cmake -B build -S . -DGPSA_SANITIZE="address;undefined"   # ASan + UBSan
+#   cmake -B build -S . -DGPSA_SANITIZE=thread                # TSan
+#
+# The option materializes as the `gpsa_sanitize` INTERFACE target, which every
+# library and executable in the repo links. When GPSA_SANITIZE is empty the
+# target carries no flags and the build is identical to a plain one.
+#
+# Policy (recorded in DESIGN.md §7):
+#   - sanitized builds compile with -fno-sanitize-recover=all so any report
+#     is a hard test failure (ctest red), never a log line someone ignores;
+#   - suppressions live next to this file (asan.supp / lsan.supp / tsan.supp /
+#     ubsan.supp) and start empty; any entry added later must cite the
+#     upstream bug it works around;
+#   - GPSA_SANITIZER_TEST_ENV exports the runtime options (including the
+#     suppression paths) and tests/CMakeLists.txt attaches it to every test.
+
+set(GPSA_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: \"\" (off), \"address;undefined\", or \"thread\"")
+
+add_library(gpsa_sanitize INTERFACE)
+
+set(GPSA_SANITIZER_TEST_ENV "")
+
+if(NOT GPSA_SANITIZE STREQUAL "")
+  # Accept a comma-separated spelling too (easier to pass through shells).
+  string(REPLACE "," ";" GPSA_SANITIZE_LIST "${GPSA_SANITIZE}")
+
+  set(_gpsa_san_flags "")
+  foreach(_san IN LISTS GPSA_SANITIZE_LIST)
+    if(_san STREQUAL "address")
+      list(APPEND _gpsa_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      list(APPEND _gpsa_san_flags -fsanitize=undefined)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _gpsa_san_flags -fsanitize=thread)
+    elseif(_san STREQUAL "leak")
+      list(APPEND _gpsa_san_flags -fsanitize=leak)
+    else()
+      message(FATAL_ERROR "GPSA_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, thread, or leak)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST GPSA_SANITIZE_LIST AND
+     ("address" IN_LIST GPSA_SANITIZE_LIST OR "leak" IN_LIST GPSA_SANITIZE_LIST))
+    message(FATAL_ERROR
+        "GPSA_SANITIZE: thread is incompatible with address/leak "
+        "(their shadow memory layouts conflict); build them separately")
+  endif()
+
+  target_compile_options(gpsa_sanitize INTERFACE
+    ${_gpsa_san_flags}
+    -g
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_link_options(gpsa_sanitize INTERFACE ${_gpsa_san_flags})
+  # Lets tests shrink iteration counts that exist only to fill wall-clock
+  # time; the interleavings under test stay identical.
+  target_compile_definitions(gpsa_sanitize INTERFACE GPSA_SANITIZE_ACTIVE=1)
+
+  set(_gpsa_supp_dir "${CMAKE_CURRENT_LIST_DIR}")
+  if("address" IN_LIST GPSA_SANITIZE_LIST)
+    list(APPEND GPSA_SANITIZER_TEST_ENV
+      "ASAN_OPTIONS=detect_stack_use_after_return=1:check_initialization_order=1:detect_leaks=1:suppressions=${_gpsa_supp_dir}/asan.supp"
+      "LSAN_OPTIONS=suppressions=${_gpsa_supp_dir}/lsan.supp")
+  endif()
+  if("undefined" IN_LIST GPSA_SANITIZE_LIST)
+    list(APPEND GPSA_SANITIZER_TEST_ENV
+      "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:suppressions=${_gpsa_supp_dir}/ubsan.supp")
+  endif()
+  if("thread" IN_LIST GPSA_SANITIZE_LIST)
+    list(APPEND GPSA_SANITIZER_TEST_ENV
+      "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1:suppressions=${_gpsa_supp_dir}/tsan.supp")
+  endif()
+
+  message(STATUS "GPSA: sanitizers enabled: ${GPSA_SANITIZE_LIST}")
+endif()

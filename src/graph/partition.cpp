@@ -51,24 +51,38 @@ std::vector<Interval> make_intervals_from_degrees(
           (static_cast<std::uint64_t>(n) * p) / parts);
     });
   } else {
-    // Greedy prefix cut at multiples of total_edges / parts. Vertices with
-    // huge degree can force an interval past the ideal cut; the remainder
-    // rebalances over the remaining parts.
-    EdgeCount total = 0;
+    // Greedy prefix cut. Each part's target is recomputed from the edges
+    // and parts *remaining*, so a huge-degree vertex that overshoots its
+    // cut rebalances over the rest instead of starving later parts: with
+    // fixed prefix targets total*p/parts, one hub vertex can exceed several
+    // cumulative targets at once, collapsing those cuts onto the same
+    // vertex and leaving their dispatchers with empty intervals.
+    EdgeCount remaining = 0;
     for (EdgeCount d : out_degrees) {
-      total += d;
+      remaining += d;
     }
     std::vector<VertexId> cuts(parts + 1, n);
     cuts[0] = 0;
     VertexId v = 0;
-    EdgeCount prefix = 0;
     for (unsigned p = 1; p < parts; ++p) {
-      const EdgeCount target = total * p / parts;  // ideal prefix sum
-      while (v < n && prefix < target) {
-        prefix += out_degrees[v];
+      const unsigned parts_left = parts - p + 1;
+      const EdgeCount target = remaining / parts_left;  // ideal for part p-1
+      // Keep at least one vertex available for each later part.
+      const VertexId later_parts = static_cast<VertexId>(parts - p);
+      const VertexId max_end = n > later_parts ? n - later_parts : v;
+      EdgeCount part_edges = 0;
+      while (v < max_end && part_edges < target) {
+        part_edges += out_degrees[v];
+        ++v;
+      }
+      if (v == cuts[p - 1] && v < max_end) {
+        // Zero target (edge-starved tail): still take one vertex so every
+        // part is non-empty whenever parts <= |V|.
+        part_edges += out_degrees[v];
         ++v;
       }
       cuts[p] = v;
+      remaining -= part_edges;
     }
     intervals = build(out_degrees, parts,
                       [&cuts](unsigned p) { return cuts[p]; });

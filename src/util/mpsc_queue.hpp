@@ -51,7 +51,10 @@ class MpscQueue {
     size_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) > 0) {
       signal_.fetch_add(1, std::memory_order_relaxed);
-      signal_.notify_all();
+      // Single-consumer queue: at most one thread is ever parked, so
+      // notify_one suffices (notify_all was a per-push syscall broadcast
+      // for a waiter set of size <= 1).
+      signal_.notify_one();
     }
   }
 

@@ -47,6 +47,10 @@ class SpscRing {
       return std::nullopt;
     }
     std::optional<T> out(std::move(slots_[tail & mask_]));
+    // Reset the vacated slot: a moved-from T may legally keep its heap
+    // allocations, which would otherwise stay pinned until the ring wraps
+    // all the way around to this index again.
+    slots_[tail & mask_] = T{};
     tail_.store(tail + 1, std::memory_order_release);
     return out;
   }

@@ -301,6 +301,54 @@ TEST(Partition, BalancedEdgesEqualizesSkew) {
   }
 }
 
+TEST(Partition, BalancedEdgesStarGraphLeavesNoDispatcherIdle) {
+  // Regression: with fixed prefix targets (total * p / parts) a star hub
+  // overshoots several cumulative cuts at once, collapsing them onto the
+  // same vertex — empty intervals, idle dispatchers. Remaining-edge
+  // rebalancing must yield exactly `parts` non-empty intervals whenever
+  // parts <= |V|.
+  const EdgeList g = star(64);
+  const Csr csr = Csr::from_edges(g);
+  std::vector<EdgeCount> degrees(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    degrees[v] = csr.out_degree(v);
+  }
+  for (const unsigned parts : {2U, 3U, 4U, 8U, 16U, 64U}) {
+    const auto intervals = make_intervals_from_degrees(
+        degrees, parts, PartitionStrategy::kBalancedEdges);
+    ASSERT_EQ(intervals.size(), parts) << "parts=" << parts;
+    VertexId covered = 0;
+    EdgeCount edges = 0;
+    for (const Interval& iv : intervals) {
+      EXPECT_EQ(iv.begin_vertex, covered) << "parts=" << parts;
+      EXPECT_GT(iv.vertex_count(), 0U) << "parts=" << parts;
+      covered = iv.end_vertex;
+      edges += iv.edge_count;
+    }
+    EXPECT_EQ(covered, csr.num_vertices()) << "parts=" << parts;
+    EXPECT_EQ(edges, csr.num_edges()) << "parts=" << parts;
+  }
+}
+
+TEST(Partition, BalancedEdgesSkewedRmatHasNoEmptyIntervals) {
+  // Same invariant on a power-law degree distribution (the shape the
+  // dispatchers actually see) across a sweep of part counts.
+  const EdgeList g = rmat(9, 8'000, 41);
+  const Csr csr = Csr::from_edges(g);
+  std::vector<EdgeCount> degrees(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    degrees[v] = csr.out_degree(v);
+  }
+  for (unsigned parts = 1; parts <= 32; ++parts) {
+    const auto intervals = make_intervals_from_degrees(
+        degrees, parts, PartitionStrategy::kBalancedEdges);
+    ASSERT_EQ(intervals.size(), parts) << "parts=" << parts;
+    for (const Interval& iv : intervals) {
+      EXPECT_GT(iv.vertex_count(), 0U) << "parts=" << parts;
+    }
+  }
+}
+
 TEST(Partition, MoreBucketsThanVerticesShrinks) {
   const std::vector<EdgeCount> degrees(3, 2);
   const auto intervals = make_intervals_from_degrees(

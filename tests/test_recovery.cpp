@@ -121,6 +121,60 @@ INSTANTIATE_TEST_SUITE_P(
                       CrashCase{"AfterThree", 3}, CrashCase{"AfterFive", 5}),
     [](const auto& param_info) { return param_info.param.name; });
 
+TEST(CrashRecovery, ResumeAfterCrashBetweenSlotFlushAndHeaderBump) {
+  // The narrowest §IV.G window: superstep k ran to completion, the
+  // checkpoint's slot msync finished, and the process died before the
+  // header bump. The file then holds a fully-written update column, a
+  // fully-consumed dispatch column, and a completed_supersteps counter
+  // still reading k. Recovery must discard the orphaned superstep, resume
+  // at k, and land on the exact no-crash result.
+  const EdgeList graph = rmat(8, 2500, 91);
+  const BfsProgram program(0);
+  auto dir = ScratchDir::create("midckpt");
+  ASSERT_TRUE(dir.is_ok());
+
+  EngineOptions eo;
+  eo.num_dispatchers = 2;
+  eo.num_computers = 2;
+  eo.scheduler_workers = 2;
+  eo.checkpoint_each_superstep = true;
+  eo.work_dir = dir.value().path();
+
+  EngineOptions partial = eo;
+  partial.max_supersteps = 3;
+  const auto first = Engine::run(graph, program, partial);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+
+  {
+    auto file = ValueFile::open(dir.value().file("bfs.values"));
+    ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+    ValueFile& vf = file.value();
+    const std::uint64_t resume = vf.completed_supersteps();
+    ASSERT_EQ(resume, 3U);
+    const unsigned dispatch_col = ValueFile::dispatch_column(resume);
+    const unsigned update_col = ValueFile::update_column(resume);
+    for (VertexId v = 0; v < vf.num_vertices(); ++v) {
+      // Superstep `resume` executed fully: plausible monotone BFS values in
+      // the update column (the freshest level, sometimes improved) ...
+      const Payload level = slot_payload(vf.load(v, dispatch_col));
+      const Payload improved = level > 1 ? level - 1 : level;
+      vf.store(v, update_col, make_slot(improved, /*stale=*/false));
+      // ... and every dispatch flag consumed.
+      vf.consume(v, dispatch_col);
+    }
+    // The checkpoint's slot flush completed; the header bump never ran.
+    ASSERT_TRUE(vf.sync().is_ok());
+    ASSERT_EQ(vf.completed_supersteps(), resume);
+  }
+
+  const auto resumed = Engine::run_from_csr(dir.value().file("graph.csr"),
+                                            program, eo, /*resume=*/true);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_TRUE(resumed.value().converged);
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(resumed.value().values, ref.values);
+}
+
 TEST(CrashRecovery, ResumeRejectsWrongApp) {
   const EdgeList graph = chain(16);
   auto dir = ScratchDir::create("crashapp");

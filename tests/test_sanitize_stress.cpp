@@ -1,0 +1,432 @@
+// Concurrency stress suite for the sanitizer matrix (ASan+UBSan / TSan).
+//
+// These tests hammer the three protocols whose correctness the rest of the
+// engine is built on, in shapes chosen to maximize the interleavings a
+// sanitizer can observe rather than to fill wall-clock time:
+//
+//   1. MpscQueue park/notify: many producers against one blocking consumer,
+//      including the Vyukov "disconnected window" (a producer preempted
+//      between the tail exchange and the next-pointer publish) — the window
+//      where a lost wakeup would deadlock pop();
+//   2. the two-column flip of the value file: dispatcher threads consume()
+//      flag bits in the dispatch column while computer threads store
+//      payloads into the update column and read dispatch-column payloads
+//      across the same superstep (§IV.F's one sanctioned cross-role
+//      overlap), across several superstep boundaries;
+//   3. fork-based crash injection around ValueFile::checkpoint: a child
+//      process dies at chosen points inside the checkpoint write sequence
+//      and the parent drives the §IV.G recovery path over the wreckage.
+//
+// Iteration counts shrink under GPSA_SANITIZE_ACTIVE: sanitizer runs pay a
+// 5-20x slowdown, and the interleavings per iteration are what matter.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "platform/file_util.hpp"
+#include "storage/recovery.hpp"
+#include "storage/value_file.hpp"
+#include "util/mpsc_queue.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace gpsa {
+namespace {
+
+#if defined(GPSA_SANITIZE_ACTIVE)
+constexpr int kScaleDivisor = 4;  // sanitizer runs: fewer reps, same shapes
+#else
+constexpr int kScaleDivisor = 1;
+#endif
+
+// --- 1. MpscQueue park/notify ------------------------------------------------
+
+TEST(MpscPark, ManyProducersAgainstBlockingConsumer) {
+  // Producers outnumber cores, so pushes are routinely preempted inside the
+  // disconnected window; periodic producer naps let the consumer drain the
+  // queue and park, so the notify path runs thousands of times instead of
+  // once. The consumer validates per-producer FIFO while popping blocking.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 8'000 / kScaleDivisor;
+  MpscQueue<std::pair<int, int>> queue;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.push({p, i});
+        if ((i & 63) == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else if ((i & 7) == 0) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<int> next_expected(kProducers, 0);
+  // A lost wakeup deadlocks this loop; the ctest timeout turns that into a
+  // hard failure, so the park/notify window is machine-checked.
+  for (int received = 0; received < kProducers * kPerProducer; ++received) {
+    const auto [p, i] = queue.pop();
+    ASSERT_EQ(i, next_expected[p]) << "producer " << p;
+    ++next_expected[p];
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_TRUE(queue.approx_empty());
+}
+
+TEST(MpscPark, SlowTricklePutsConsumerToSleepEveryItem) {
+  // One item at a time with gaps longer than pop()'s spin phase: every
+  // delivery takes the full park -> notify -> wake round trip.
+  constexpr int kItems = 600 / kScaleDivisor;
+  MpscQueue<int> queue;
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      queue.push(i);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(queue.pop(), i);
+  }
+  producer.join();
+  EXPECT_TRUE(queue.approx_empty());
+}
+
+TEST(MpscPark, BurstsOfProducersRaceASpinningThenParkingConsumer) {
+  // Repeated short bursts: each round the consumer empties the queue and
+  // parks before the next burst begins, so the sleepers_ > 0 branch of
+  // push() and the recheck-after-park branch of pop() both run constantly.
+  constexpr int kRounds = 40 / kScaleDivisor + 2;
+  constexpr int kProducers = 6;
+  constexpr int kPerBurst = 250;
+  MpscQueue<std::uint64_t> queue;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> burst;
+    burst.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      burst.emplace_back([&queue, p] {
+        for (int i = 0; i < kPerBurst; ++i) {
+          queue.push((static_cast<std::uint64_t>(p) << 32) | i);
+        }
+      });
+    }
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kProducers * kPerBurst; ++i) {
+      sum += queue.pop() & 0xffff'ffffU;
+    }
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(kProducers) * kPerBurst *
+                       (kPerBurst - 1) / 2);
+    for (auto& t : burst) {
+      t.join();
+    }
+    ASSERT_TRUE(queue.approx_empty()) << "round " << round;
+  }
+}
+
+TEST(MpscPark, MoveOnlyPayloadsUnderContentionFreeCleanly) {
+  // Heap-owning payloads across the full producer/consumer handoff: ASan
+  // verifies node ownership, LSan verifies the destructor drain of a queue
+  // abandoned with items still enqueued.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2'000 / kScaleDivisor;
+  auto queue = std::make_unique<MpscQueue<std::unique_ptr<int>>>();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue->push(std::make_unique<int>(p * kPerProducer + i));
+      }
+    });
+  }
+  // Pop only half; the destructor must reclaim the rest.
+  long long seen = 0;
+  for (int i = 0; i < kProducers * kPerProducer / 2; ++i) {
+    auto v = queue->pop();
+    ASSERT_NE(v, nullptr);
+    seen += *v;
+  }
+  EXPECT_GT(seen, 0);
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.reset();  // drains remaining nodes; LSan checks nothing leaks
+}
+
+TEST(SpscPressure, RingSlotHandoffUnderProducerConsumerRace) {
+  // Companion for the ring substrate: heap payloads streamed through a
+  // tiny ring. The try_pop slot reset keeps at most `capacity` live
+  // allocations pinned; LSan/ASan verify the hand-off.
+  constexpr int kTotal = 20'000 / kScaleDivisor;
+  SpscRing<std::unique_ptr<int>> ring(8);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kTotal;) {
+      if (ring.try_push(std::make_unique<int>(i))) {
+        ++i;
+      }
+    }
+  });
+  for (int expected = 0; expected < kTotal;) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_NE(*v, nullptr);
+      ASSERT_EQ(**v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+// --- 2. Two-column flip ------------------------------------------------------
+
+// Payload a vertex carries after superstep `s` completes (s == -1 is the
+// initial state). Stays inside the 31-bit payload range.
+Payload flip_payload(VertexId v, int s) {
+  return static_cast<Payload>((static_cast<std::uint64_t>(s + 2) * 977u + v) &
+                              kPayloadMask);
+}
+
+TEST(TwoColumnFlip, ConsumeFlagsRaceStoresAcrossSuperstepBoundaries) {
+  // Faithful thread-level replay of §IV.F: per superstep, dispatcher
+  // threads sweep disjoint vertex intervals of the dispatch column —
+  // reading payloads and fetch_or-ing the stale bit — while computer
+  // threads concurrently store the next payloads into the update column
+  // and read dispatch-column payloads of arbitrary vertices (the sanctioned
+  // cross-role overlap). The main thread checks the full column state at
+  // every superstep barrier, then the roles flip.
+  constexpr VertexId kVertices = 2'048;
+  constexpr int kSupersteps = 6;
+  constexpr unsigned kDispatchers = 2;
+  constexpr unsigned kComputers = 2;
+
+  auto dir = ScratchDir::create("flipstress");
+  ASSERT_TRUE(dir.is_ok());
+  auto file = ValueFile::create(dir.value().file("flip.values"), kVertices,
+                                "flipstress");
+  ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+  ValueFile& vf = file.value();
+
+  const unsigned d0 = ValueFile::dispatch_column(0);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    vf.store(v, d0, make_slot(flip_payload(v, -1), /*stale=*/false));
+    vf.store(v, 1 - d0, make_slot(0, /*stale=*/true));
+  }
+
+  // Threads report protocol violations through a counter; gtest assertions
+  // are not thread-safe off the main thread.
+  std::atomic<int> violations{0};
+
+  for (int s = 0; s < kSupersteps; ++s) {
+    const unsigned dcol = ValueFile::dispatch_column(s);
+    const unsigned ucol = ValueFile::update_column(s);
+    std::vector<std::thread> workers;
+    workers.reserve(kDispatchers + kComputers);
+    for (unsigned d = 0; d < kDispatchers; ++d) {
+      workers.emplace_back([&, d] {
+        const VertexId begin = kVertices * d / kDispatchers;
+        const VertexId end = kVertices * (d + 1) / kDispatchers;
+        for (VertexId v = begin; v < end; ++v) {
+          const Slot prev = vf.consume(v, dcol);
+          if (slot_is_stale(prev) ||
+              slot_payload(prev) != flip_payload(v, s - 1)) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (unsigned c = 0; c < kComputers; ++c) {
+      workers.emplace_back([&, c] {
+        for (VertexId v = c; v < kVertices; v += kComputers) {
+          // Cross-role overlap: payload bits of the dispatch column must be
+          // immutable while its flag bit flips under us.
+          const VertexId w = (v * 31 + static_cast<VertexId>(s)) % kVertices;
+          const Payload seen = slot_payload(vf.load(w, dcol));
+          if (seen != flip_payload(w, s - 1)) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          vf.store(v, ucol, make_slot(flip_payload(v, s), /*stale=*/false));
+        }
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    ASSERT_EQ(violations.load(), 0) << "superstep " << s;
+    // Superstep barrier: dispatch column fully consumed, update column
+    // holds exactly this superstep's payloads.
+    for (VertexId v = 0; v < kVertices; ++v) {
+      const Slot consumed = vf.load(v, dcol);
+      ASSERT_TRUE(slot_is_stale(consumed)) << "vertex " << v;
+      ASSERT_EQ(slot_payload(consumed), flip_payload(v, s - 1))
+          << "vertex " << v;
+      const Slot updated = vf.load(v, ucol);
+      ASSERT_FALSE(slot_is_stale(updated)) << "vertex " << v;
+      ASSERT_EQ(slot_payload(updated), flip_payload(v, s)) << "vertex " << v;
+    }
+    // Manager-style checkpoint between supersteps (msync on the quiescent
+    // mapping, header bump included).
+    ASSERT_TRUE(vf.checkpoint(static_cast<std::uint64_t>(s) + 1).is_ok());
+  }
+  EXPECT_EQ(vf.completed_supersteps(), static_cast<std::uint64_t>(kSupersteps));
+}
+
+// --- 3. Fork-based crash injection around ValueFile::checkpoint --------------
+
+// Brings `path` to "k supersteps completed, checkpointed": the dispatch
+// column of superstep k holds flip_payload(v, k-1) active, the other column
+// is stale, and the header records k.
+void prepare_checkpointed_file(const std::string& path, VertexId n,
+                               std::uint64_t k) {
+  auto file = ValueFile::create(path, n, "crashtest");
+  ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+  ValueFile& vf = file.value();
+  for (std::uint64_t completed = 0; completed <= k; ++completed) {
+    const unsigned dcol = ValueFile::dispatch_column(completed);
+    for (VertexId v = 0; v < n; ++v) {
+      vf.store(v, dcol,
+               make_slot(flip_payload(v, static_cast<int>(completed) - 1),
+                         /*stale=*/false));
+      vf.store(v, 1 - dcol, make_slot(0, /*stale=*/true));
+    }
+    ASSERT_TRUE(vf.checkpoint(completed).is_ok());
+  }
+}
+
+// Runs `crash_body` in a forked child against its own mapping of `path`,
+// then _exit(0) — the mmap writes land in the shared file, everything else
+// (header bump, cleanup) is lost exactly as in a real crash.
+void crash_in_child(const std::string& path,
+                    void (*crash_body)(ValueFile&, VertexId)) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: no gtest, no exit handlers — mimic an abrupt crash as closely
+    // as a test can.
+    auto file = ValueFile::open(path);
+    if (file.is_ok()) {
+      crash_body(file.value(), file.value().num_vertices());
+    }
+    ::_exit(0);
+  }
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0);
+}
+
+void expect_recovered_to(const std::string& path, std::uint64_t k,
+                         VertexId n) {
+  const auto report = recover_value_file_at(path);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().resume_superstep, k);
+  EXPECT_EQ(report.value().valid_column, ValueFile::dispatch_column(k));
+  EXPECT_EQ(report.value().vertices_restored, n);
+
+  auto reopened = ValueFile::open(path);
+  ASSERT_TRUE(reopened.is_ok());
+  ValueFile& vf = reopened.value();
+  const unsigned dcol = ValueFile::dispatch_column(k);
+  for (VertexId v = 0; v < n; ++v) {
+    const Slot active = vf.load(v, dcol);
+    ASSERT_FALSE(slot_is_stale(active)) << "vertex " << v;
+    ASSERT_EQ(slot_payload(active), flip_payload(v, static_cast<int>(k) - 1))
+        << "vertex " << v;
+    const Slot stale = vf.load(v, 1 - dcol);
+    ASSERT_TRUE(slot_is_stale(stale)) << "vertex " << v;
+    ASSERT_EQ(slot_payload(stale), flip_payload(v, static_cast<int>(k) - 1))
+        << "vertex " << v;
+  }
+}
+
+TEST(ForkCrash, SlotFlushCompletesButHeaderBumpIsLost) {
+  // The child plays superstep k to completion — full update-column write,
+  // full dispatch-flag consumption, slot msync — and dies exactly between
+  // the slot flush and the header bump of checkpoint(k+1). Recovery must
+  // resume at k from the dispatch column, discarding the orphaned work.
+  constexpr VertexId kVertices = 512;
+  constexpr std::uint64_t kCompleted = 3;
+  auto dir = ScratchDir::create("forkcrash1");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("crash.values");
+  prepare_checkpointed_file(path, kVertices, kCompleted);
+
+  crash_in_child(path, [](ValueFile& vf, VertexId n) {
+    const unsigned dcol = ValueFile::dispatch_column(kCompleted);
+    const unsigned ucol = ValueFile::update_column(kCompleted);
+    for (VertexId v = 0; v < n; ++v) {
+      vf.store(v, ucol,
+               make_slot(flip_payload(v, static_cast<int>(kCompleted)),
+                         /*stale=*/false));
+      vf.consume(v, dcol);
+    }
+    (void)vf.sync();  // the checkpoint's slot flush — then death
+  });
+
+  expect_recovered_to(path, kCompleted, kVertices);
+}
+
+TEST(ForkCrash, TornMidSuperstepWritesAndPartialFlagConsumption) {
+  // The child dies mid-superstep: a random subset of update-column slots
+  // written (unsynced), a random subset of dispatch flags consumed. §IV.G's
+  // claim under test: flag consumption never corrupts dispatch-column
+  // payloads, so recovery reconstructs the last checkpoint exactly.
+  constexpr VertexId kVertices = 512;
+  constexpr std::uint64_t kCompleted = 2;
+  auto dir = ScratchDir::create("forkcrash2");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("crash.values");
+  prepare_checkpointed_file(path, kVertices, kCompleted);
+
+  crash_in_child(path, [](ValueFile& vf, VertexId n) {
+    const unsigned dcol = ValueFile::dispatch_column(kCompleted);
+    const unsigned ucol = ValueFile::update_column(kCompleted);
+    Rng rng(kCompleted * 7919 + 13);
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.next_bool(0.5)) {
+        vf.store(v, ucol,
+                 make_slot(static_cast<Payload>(rng.next_below(kPayloadMask)),
+                           rng.next_bool(0.3)));
+      }
+      if (rng.next_bool(0.4)) {
+        vf.consume(v, dcol);
+      }
+    }
+    // No sync: whatever the kernel flushed is what the "disk" has.
+  });
+
+  expect_recovered_to(path, kCompleted, kVertices);
+}
+
+TEST(ForkCrash, RepeatedCrashesAtEverySuperstepStillRecover) {
+  // Crash-inject after each of several checkpoints in sequence on the same
+  // file: recovery must be idempotent and never lose the last completed
+  // superstep, whatever the previous crash left behind.
+  constexpr VertexId kVertices = 256;
+  auto dir = ScratchDir::create("forkcrash3");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("crash.values");
+
+  for (std::uint64_t k = 0; k <= 4; ++k) {
+    prepare_checkpointed_file(path, kVertices, k);
+    crash_in_child(path, [](ValueFile& vf, VertexId n) {
+      // Consume every other dispatch flag, then die without sync.
+      const unsigned dcol =
+          ValueFile::dispatch_column(vf.completed_supersteps());
+      for (VertexId v = 0; v < n; v += 2) {
+        vf.consume(v, dcol);
+      }
+    });
+    expect_recovered_to(path, k, kVertices);
+  }
+}
+
+}  // namespace
+}  // namespace gpsa

@@ -126,6 +126,50 @@ TEST(Stress, RepeatedRunsAreDeterministicForIntegerApps) {
   }
 }
 
+TEST(Stress, SingleMessageBatchesWithCheckpointEverySuperstep) {
+  // Batch size 1 maximizes mailbox traffic (every generated message is its
+  // own push/park/notify round) while per-superstep checkpoints interleave
+  // msync into the two-column flip — the densest version of the protocols
+  // the sanitizer stress suite checks at the substrate level.
+#if defined(GPSA_SANITIZE_ACTIVE)
+  const EdgeList graph = rmat(9, 8'000, 19);
+#else
+  const EdgeList graph = rmat(10, 30'000, 19);
+#endif
+  const BfsProgram program(0);
+  EngineOptions eo;
+  eo.num_dispatchers = 4;
+  eo.num_computers = 4;
+  eo.scheduler_workers = 2;
+  eo.message_batch = 1;
+  eo.checkpoint_each_superstep = true;
+  const auto result = Engine::run(graph, program, eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(result.value().values, ref.values);
+}
+
+TEST(Stress, ActorOversubscriptionParksMailboxesConstantly) {
+  // Far more actors than workers: mailboxes oscillate between empty and
+  // non-empty, so the scheduler's idle/scheduled transition and the
+  // MpscQueue park/notify protocol run at maximum frequency.
+#if defined(GPSA_SANITIZE_ACTIVE)
+  const EdgeList graph = rmat(9, 6'000, 43);
+#else
+  const EdgeList graph = rmat(11, 40'000, 43);
+#endif
+  const ConnectedComponentsProgram program;
+  EngineOptions eo;
+  eo.num_dispatchers = 8;
+  eo.num_computers = 8;
+  eo.scheduler_workers = 2;
+  eo.message_batch = 4;
+  const auto result = Engine::run(graph, program, eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  expect_payloads_equal(result.value().values, ref.values);
+}
+
 TEST(Stress, BackToBackEnginesShareNothing) {
   // Interleave engines and algorithms to shake out leaked global state.
   const EdgeList graph = rmat(9, 6'000, 31);
