@@ -67,6 +67,13 @@ if(NOT GPSA_SANITIZE STREQUAL "")
       "ASAN_OPTIONS=detect_stack_use_after_return=1:check_initialization_order=1:detect_leaks=1:suppressions=${_gpsa_supp_dir}/asan.supp"
       "LSAN_OPTIONS=suppressions=${_gpsa_supp_dir}/lsan.supp")
   endif()
+  if("leak" IN_LIST GPSA_SANITIZE_LIST AND
+     NOT "address" IN_LIST GPSA_SANITIZE_LIST)
+    # Standalone LSan (the CI leak leg): same suppression file as the
+    # LSan embedded in ASan above.
+    list(APPEND GPSA_SANITIZER_TEST_ENV
+      "LSAN_OPTIONS=suppressions=${_gpsa_supp_dir}/lsan.supp")
+  endif()
   if("undefined" IN_LIST GPSA_SANITIZE_LIST)
     list(APPEND GPSA_SANITIZER_TEST_ENV
       "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:suppressions=${_gpsa_supp_dir}/ubsan.supp")

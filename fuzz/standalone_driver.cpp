@@ -1,0 +1,36 @@
+// Corpus-replay driver for toolchains without -fsanitize=fuzzer (gcc).
+//
+// Feeds every file passed on the command line — in CI and ctest, the
+// checked-in seed corpus — through LLVMFuzzerTestOneInput, so the
+// harness itself stays covered by the ordinary test matrix (including
+// the sanitizer configurations) even where libFuzzer cannot link.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "platform/file_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto bytes = gpsa::read_file(argv[i]);
+    if (!bytes.is_ok()) {
+      std::fprintf(stderr, "skip %s: %s\n", argv[i],
+                   bytes.status().to_string().c_str());
+      continue;
+    }
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.value().data()),
+        bytes.value().size());
+    ++replayed;
+  }
+  std::printf("replayed %d corpus file(s)\n", replayed);
+  return replayed > 0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Gate on the scheduler-storm ablation: work stealing must beat the
+global-mutex queue by the given factor somewhere in the oversubscribed
+regime (actors/worker >= 2), where run-queue pressure is the bottleneck
+the new scheduler exists to remove.
+
+Usage: check_storm_ratio.py <bench_ablation_actors.json> <min_ratio>
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    min_ratio = float(sys.argv[2])
+
+    cells = {}
+    for cell in report["storm"]:
+        key = (cell["workers"], cell["actors"])
+        cells.setdefault(key, {})[cell["scheduler"]] = cell
+
+    best = None
+    for (workers, actors), by_mode in sorted(cells.items()):
+        if "global" not in by_mode or "stealing" not in by_mode:
+            continue
+        oversub = by_mode["stealing"]["oversubscription"]
+        ratio = (by_mode["stealing"]["messages_per_sec"] /
+                 by_mode["global"]["messages_per_sec"])
+        marker = " " if oversub < 2 else "*"
+        print(f"{marker} workers={workers:3d} actors={actors:4d} "
+              f"oversub={oversub} stealing/global = {ratio:.3f}")
+        if oversub >= 2 and (best is None or ratio > best):
+            best = ratio
+
+    if best is None:
+        print("no oversubscribed storm cells in report", file=sys.stderr)
+        return 1
+    print(f"best oversubscribed ratio: {best:.3f} (need >= {min_ratio})")
+    if best < min_ratio:
+        print("FAIL: work stealing did not clear the required ratio",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

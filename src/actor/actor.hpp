@@ -5,12 +5,17 @@
 //     scheduler never runs one actor concurrently with itself;
 //   - asynchronous send: producers enqueue and continue immediately;
 //   - per-sender FIFO delivery via the MPSC mailbox;
-//   - fair scheduling via the shared run queue (scheduler.hpp).
+//   - starvation-free scheduling via the scheduler's run queues
+//     (scheduler.hpp: work-stealing deques by default, the global FIFO
+//     under GPSA_SCHEDULER=global).
 //
-// An actor is IDLE when its mailbox is empty and it is not on the run
+// An actor is IDLE when its mailbox is empty and it is not on a run
 // queue, SCHEDULED otherwise. send() performs the empty->non-empty
 // transition exactly once per wakeup, which keeps run-queue traffic
-// proportional to wakeups, not messages.
+// proportional to wakeups, not messages. When the sender is itself a
+// scheduler worker (the dominant case: dispatcher -> computer sends),
+// the wakeup lands on that worker's own lock-free deque, so the mailbox
+// notify path crosses no lock and no syscall.
 #pragma once
 
 #include <atomic>

@@ -5,6 +5,10 @@ namespace gpsa {
 ActorSystem::ActorSystem(unsigned worker_count, std::size_t batch_size)
     : scheduler_(worker_count, batch_size) {}
 
+ActorSystem::ActorSystem(unsigned worker_count, std::size_t batch_size,
+                         SchedulerMode mode)
+    : scheduler_(worker_count, batch_size, mode) {}
+
 ActorSystem::~ActorSystem() { shutdown(); }
 
 void ActorSystem::shutdown() {

@@ -19,7 +19,11 @@ namespace gpsa {
 
 class ActorSystem {
  public:
+  /// The two-argument form takes the scheduler substrate from the
+  /// GPSA_SCHEDULER environment switch (scheduler.hpp).
   explicit ActorSystem(unsigned worker_count, std::size_t batch_size = 256);
+  ActorSystem(unsigned worker_count, std::size_t batch_size,
+              SchedulerMode mode);
   ~ActorSystem();
 
   ActorSystem(const ActorSystem&) = delete;

@@ -2,21 +2,45 @@
 //
 // The paper's engine replaces threads with "active light-weight actors"
 // (Kilim tasks). Here, an actor is a Schedulable multiplexed onto a small
-// pool of worker threads: it is enqueued on the global run queue whenever
-// its mailbox transitions from empty to non-empty, a worker pops it and
-// lets it process a bounded batch of messages, and it is re-enqueued if
-// work remains. FIFO servicing of the run queue gives the fair scheduling
-// the actor model promises (no actor is starved); the batch bound keeps
-// any one actor from monopolizing a worker.
+// pool of worker threads: it is enqueued whenever its mailbox transitions
+// from empty to non-empty, a worker pops it and lets it process a bounded
+// batch of messages, and it is re-enqueued if work remains. The batch
+// bound keeps any one actor from monopolizing a worker.
+//
+// Two run-queue substrates exist behind the GPSA_SCHEDULER runtime
+// switch (DESIGN.md §8):
+//
+//   - kWorkStealing (default): per-worker bounded Chase–Lev deques
+//     (work_stealing_deque.hpp). An enqueue from a worker thread lands on
+//     that worker's own deque (local LIFO); external submissions and
+//     deque overflow go through a global injector queue; idle workers
+//     steal the FIFO end of random victims, taking up to half of the
+//     victim's backlog per episode. A parked-worker bitmap plus a global
+//     pending-unit counter lets enqueue wake at most one sleeper and
+//     makes "sleep while work is unclaimed" impossible (Dekker on
+//     seq_cst pending/parked accesses). A fairness tick services the
+//     injector and the worker's own FIFO end every 61 slices so local
+//     LIFO churn cannot starve anyone.
+//   - kGlobalQueue: the original single std::mutex + std::deque +
+//     condition_variable run queue, kept as the ablation baseline and
+//     fallback. notify_one is issued while the lock is held: the
+//     predicate re-check under the same mutex already makes lost wakeups
+//     impossible, and notifying under the lock additionally closes the
+//     window where a racing stop()+destruction could free the condvar
+//     between enqueue's unlock and its notify.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "actor/work_stealing_deque.hpp"
 
 namespace gpsa {
 
@@ -31,17 +55,32 @@ class Schedulable {
   virtual bool execute_batch(std::size_t max_messages) = 0;
 };
 
+enum class SchedulerMode {
+  kGlobalQueue,   // single mutex-protected FIFO (ablation baseline)
+  kWorkStealing,  // per-worker Chase–Lev deques + injector (default)
+};
+
+/// Reads GPSA_SCHEDULER ("global" | "stealing"); defaults to
+/// kWorkStealing for unset or unrecognized values.
+SchedulerMode scheduler_mode_from_env();
+
+const char* scheduler_mode_name(SchedulerMode mode);
+
 class Scheduler {
  public:
   /// `worker_count` threads are started immediately.
   /// `batch_size` bounds messages processed per scheduling slice.
+  /// The two-argument form takes the mode from GPSA_SCHEDULER.
   explicit Scheduler(unsigned worker_count, std::size_t batch_size = 256);
+  Scheduler(unsigned worker_count, std::size_t batch_size, SchedulerMode mode);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Makes `unit` runnable. Callable from any thread, including workers.
+  /// From a worker thread of this scheduler the unit lands on that
+  /// worker's local deque; otherwise it goes through the injector.
   void enqueue(Schedulable* unit);
 
   /// Stops accepting work, drains nothing, joins workers. Callers must
@@ -51,20 +90,67 @@ class Scheduler {
 
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
 
+  SchedulerMode mode() const { return mode_; }
+
   /// Total scheduling slices executed (for tests and the ablation bench).
   std::uint64_t slices_executed() const {
     return slices_.load(std::memory_order_relaxed);
   }
 
+  /// Steal episodes that obtained at least one unit (stealing mode only).
+  std::uint64_t steals_executed() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop(unsigned index);
+  /// Per-worker scheduling state. Only `deque` and `epoch` are shared;
+  /// `tick` and `rng_state` are owner-private.
+  struct alignas(64) Worker {
+    explicit Worker(std::uint64_t seed) : rng_state(seed) {}
+
+    WorkStealingDeque<Schedulable*> deque{/*initial_capacity=*/64};
+    /// Eventcount the worker parks on; bumped to wake it.
+    std::atomic<std::uint32_t> epoch{0};
+    std::uint64_t tick = 0;
+    std::uint64_t rng_state;
+  };
+
+  void worker_loop_global(unsigned index);
+  void worker_loop_stealing(unsigned index);
+
+  Schedulable* next_unit(Worker& self, unsigned index);
+  Schedulable* try_steal(Worker& self, unsigned index);
+  Schedulable* pop_injector();
+  void inject(Schedulable* unit);
+  void wake_one();
+  /// Parks until woken. Returns false when the scheduler is stopping.
+  bool park(Worker& self, unsigned index);
 
   const std::size_t batch_size_;
+  const SchedulerMode mode_;
+  std::atomic<std::uint64_t> slices_{0};
+  std::atomic<std::uint64_t> steals_{0};
+
+  // --- kGlobalQueue state -------------------------------------------------
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Schedulable*> run_queue_;
-  bool stopping_ = false;
-  std::atomic<std::uint64_t> slices_{0};
+  bool stopping_ = false;  // guarded by mutex_
+
+  // --- kWorkStealing state ------------------------------------------------
+  std::vector<std::unique_ptr<Worker>> worker_state_;
+  std::mutex injector_mutex_;
+  std::deque<Schedulable*> injector_;  // guarded by injector_mutex_
+  /// Mirror of injector_.size() readable without the lock.
+  std::atomic<std::size_t> injector_size_{0};
+  /// Units enqueued but not yet claimed by a worker. A worker only sleeps
+  /// after publishing its parked bit and re-reading pending_ == 0.
+  std::atomic<std::int64_t> pending_{0};
+  /// One bit per worker, set while that worker is parked.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> parked_words_;
+  std::size_t parked_word_count_ = 0;
+  std::atomic<bool> stop_flag_{false};
+
   std::vector<std::thread> workers_;
 };
 

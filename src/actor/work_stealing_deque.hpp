@@ -1,0 +1,190 @@
+// Chase–Lev work-stealing deque (single owner, many thieves).
+//
+// The owning worker pushes and pops at the *bottom* (LIFO — keeps the
+// hottest actor cache-resident); thief workers steal from the *top*
+// (FIFO — the oldest work migrates, which is what makes stealing fair).
+// The ring buffer grows by doubling up to `max_capacity`; past that,
+// push() returns false and the scheduler routes the unit through its
+// global overflow injector instead, so the deque never blocks and never
+// allocates on the hot path once warm.
+//
+// Memory-order notes (the proof obligations, kept TSan-friendly: no
+// standalone fences — ThreadSanitizer does not model
+// std::atomic_thread_fence, so the Dekker points below use seq_cst
+// *accesses* instead, which TSan reasons about precisely):
+//
+//   - `bottom_` is written only by the owner. push() publishes the new
+//     element with a release store of bottom_; a thief that reads that
+//     bottom value (seq_cst load ⊇ acquire) therefore sees the element
+//     cell AND every ring_ replacement sequenced before the push, which
+//     is what makes reading a stale ring pointer safe: any ring visible
+//     together with bottom >= t+1 contains entry t (grow copies the live
+//     range, retired rings are immutable and kept until destruction).
+//   - pop() claims the bottom slot with a seq_cst store of bottom_ and
+//     then a seq_cst load of top_ (store-then-load Dekker against
+//     steal()'s seq_cst top_/bottom_ loads): either the owner observes
+//     the thief's top_ advance, or the thief observes the shrunken
+//     bottom_ and gives up. The final element is arbitrated by a seq_cst
+//     CAS on top_ from both sides; exactly one wins.
+//   - Element cells are std::atomic<T> accessed relaxed: a thief may read
+//     a cell and then lose the top_ CAS (the empty-steal ABA window); the
+//     value it read is discarded, and because the read was atomic the
+//     racing owner overwrite (only possible once top_ has moved past the
+//     slot, which is exactly when the CAS fails) is not a data race.
+//
+// T must be trivially copyable (the scheduler stores Schedulable*).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpsa {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealingDeque requires trivially copyable elements");
+
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 256,
+                             std::size_t max_capacity = std::size_t{1} << 15)
+      : max_capacity_(max_capacity) {
+    GPSA_CHECK(initial_capacity >= 2);
+    GPSA_CHECK((initial_capacity & (initial_capacity - 1)) == 0);
+    GPSA_CHECK((max_capacity & (max_capacity - 1)) == 0);
+    GPSA_CHECK(max_capacity >= initial_capacity);
+    ring_.store(new Ring(initial_capacity), std::memory_order_relaxed);
+  }
+
+  ~WorkStealingDeque() {
+    delete ring_.load(std::memory_order_relaxed);
+    for (Ring* retired : retired_) {
+      delete retired;
+    }
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Returns false when the deque is full at max capacity
+  /// (caller must overflow elsewhere; the element is NOT enqueued).
+  bool push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (static_cast<std::size_t>(b - t) >= ring->capacity) {
+      if (ring->capacity >= max_capacity_) {
+        return false;
+      }
+      ring = grow(ring, t, b);
+    }
+    ring->cell(b).store(value, std::memory_order_relaxed);
+    // Release: publishes the cell (and any ring_ replacement above) to
+    // thieves that acquire-read this bottom value.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. LIFO end.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    // Dekker store: claim slot b before inspecting top_.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was empty; restore the canonical bottom == top.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const T value = ring->cell(b).load(std::memory_order_relaxed);
+    if (t != b) {
+      return value;  // more than one element: the claim cannot race
+    }
+    // Last element: race any thief for it via the top_ CAS.
+    std::optional<T> out(value);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      out.reset();  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Any thread. FIFO end. Returns nullopt when empty OR when it loses
+  /// the top_ CAS race (the caller treats both as "nothing stolen").
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return std::nullopt;
+    }
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    const T value = ring->cell(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race (empty-steal ABA window)
+    }
+    return value;
+  }
+
+  /// Racy size estimate (exact when only the owner is active).
+  std::size_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool approx_empty() const { return approx_size() == 0; }
+
+  /// Current ring capacity (tests observe growth).
+  std::size_t capacity() const {
+    return ring_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+
+    std::atomic<T>& cell(std::int64_t index) const {
+      return cells[static_cast<std::size_t>(index) & mask];
+    }
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  /// Owner only: double the ring, copying the live range [t, b). The old
+  /// ring is retired, not freed — a thief may still be reading it; retired
+  /// rings are immutable (the owner never writes them again) and are
+  /// reclaimed in the destructor.
+  Ring* grow(Ring* old_ring, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old_ring->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->cell(i).store(old_ring->cell(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    // The release store of bottom_ in push() carries this replacement to
+    // thieves; release here additionally covers capacity() observers.
+    ring_.store(bigger, std::memory_order_release);
+    retired_.push_back(old_ring);
+    return bigger;
+  }
+
+  const std::size_t max_capacity_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  std::vector<Ring*> retired_;  // owner-only
+};
+
+}  // namespace gpsa

@@ -10,14 +10,23 @@
 namespace gpsa {
 namespace {
 
+/// Largest vertex id the pipeline can represent end to end: CSR entries
+/// are int32 with -1 (kCsrEndOfList) reserved as the record sentinel, so
+/// any id that casts to a negative int32 — in particular 0xffffffff,
+/// which casts to the sentinel itself — must be rejected at parse time,
+/// not silently folded into the binary format.
+constexpr VertexId kMaxParsedVertexId = (VertexId{1} << 31) - 2;
+
 /// Recognizes the writer's header comment and extracts the vertex-count
 /// bound (isolated trailing vertices are otherwise unrepresentable in
-/// adjacency text). Returns 0 if the line is not a header.
+/// adjacency text). Returns 0 if the line is not a header or declares an
+/// unrepresentable bound.
 VertexId parse_header_bound(const std::string& line) {
   VertexId bound = 0;
   unsigned long long parsed = 0;
   if (std::sscanf(line.c_str(), "# gpsa adjacency graph: %llu vertices",
-                  &parsed) == 1) {
+                  &parsed) == 1 &&
+      parsed <= std::uint64_t{kMaxParsedVertexId} + 1) {
     bound = static_cast<VertexId>(parsed);
   }
   return bound;
@@ -36,7 +45,7 @@ Result<bool> parse_line(const std::string& line, std::uint64_t line_no,
     return false;
   }
   auto r = std::from_chars(p, end, src);
-  if (r.ec != std::errc()) {
+  if (r.ec != std::errc() || src > kMaxParsedVertexId) {
     return corrupt_data(path + ":" + std::to_string(line_no) +
                         ": bad source vertex");
   }
@@ -46,7 +55,7 @@ Result<bool> parse_line(const std::string& line, std::uint64_t line_no,
   while (p != end) {
     VertexId dst = 0;
     r = std::from_chars(p, end, dst);
-    if (r.ec != std::errc()) {
+    if (r.ec != std::errc() || dst > kMaxParsedVertexId) {
       return corrupt_data(path + ":" + std::to_string(line_no) +
                           ": bad destination vertex");
     }

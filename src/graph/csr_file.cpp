@@ -102,10 +102,27 @@ Result<CsrFileReader> CsrFileReader::open(const std::string& base_path) {
   if (reader.header_.version != CsrFileHeader::kVersion) {
     return corrupt_data("unsupported csr version in " + base_path);
   }
+  if ((reader.header_.flags & ~CsrFileHeader::kFlagHasDegree) != 0) {
+    return corrupt_data("unknown csr flags in " + base_path);
+  }
   const std::uint64_t body_bytes =
       reader.entry_map_.size() - sizeof(CsrFileHeader);
-  if (body_bytes != reader.header_.num_entries * sizeof(std::int32_t)) {
+  // Compare via division: `num_entries * 4` can wrap uint64 for a forged
+  // header and collide with a small body.
+  if (body_bytes % sizeof(std::int32_t) != 0 ||
+      body_bytes / sizeof(std::int32_t) != reader.header_.num_entries) {
     return corrupt_data("csr entry count mismatch in " + base_path);
+  }
+  // Structural accounting: one entry per edge, one sentinel per vertex,
+  // one degree per vertex when the flag is set. Checked up front so the
+  // per-record loop below cannot be fooled by a self-consistent offset
+  // table over the wrong totals.
+  const std::uint64_t per_vertex =
+      1 + (reader.header_.flags & CsrFileHeader::kFlagHasDegree ? 1 : 0);
+  if (reader.header_.num_entries !=
+      reader.header_.num_edges +
+          per_vertex * std::uint64_t{reader.header_.num_vertices}) {
+    return corrupt_data("csr header totals inconsistent in " + base_path);
   }
   reader.entries_ = std::span<const std::int32_t>(
       reinterpret_cast<const std::int32_t*>(reader.entry_map_.data() +
@@ -123,6 +140,54 @@ Result<CsrFileReader> CsrFileReader::open(const std::string& base_path) {
     return corrupt_data("csr index size mismatch in " + base_path + ".idx");
   }
   reader.offsets_ = reader.index_map_.as_span<const std::uint64_t>();
+
+  // Validate the whole record structure once, here, so record() below can
+  // stay an infallible accessor: every downstream consumer (dispatchers,
+  // baselines, tests) indexes through offsets_ without re-checking. Both
+  // files are untrusted input — a hostile offset table would otherwise
+  // turn record() into an out-of-bounds read.
+  const bool with_degree =
+      (reader.header_.flags & CsrFileHeader::kFlagHasDegree) != 0;
+  const std::uint64_t n = reader.header_.num_vertices;
+  if (reader.offsets_[0] != 0 ||
+      reader.offsets_[n] != reader.header_.num_entries) {
+    return corrupt_data("csr index endpoints invalid in " + base_path +
+                        ".idx");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t begin = reader.offsets_[v];
+    const std::uint64_t end = reader.offsets_[v + 1];
+    // Monotonicity plus the endpoint checks above bound every record
+    // inside entries_ (begin is the previous record's validated end).
+    // The minimum record is sentinel-only (+ degree). Written to avoid
+    // arithmetic on unvalidated offsets: `begin + per_vertex` could wrap.
+    if (end > reader.header_.num_entries || begin > end ||
+        end - begin < per_vertex) {
+      return corrupt_data("csr record " + std::to_string(v) +
+                          " malformed in " + base_path + ".idx");
+    }
+    std::uint64_t pos = begin;
+    const std::uint64_t degree = end - begin - per_vertex;
+    if (with_degree) {
+      if (reader.entries_[pos] !=
+          static_cast<std::int64_t>(degree)) {
+        return corrupt_data("csr record " + std::to_string(v) +
+                            " degree mismatch in " + base_path);
+      }
+      ++pos;
+    }
+    for (; pos != end - 1; ++pos) {
+      const std::int32_t target = reader.entries_[pos];
+      if (target < 0 || static_cast<std::uint64_t>(target) >= n) {
+        return corrupt_data("csr record " + std::to_string(v) +
+                            " target out of range in " + base_path);
+      }
+    }
+    if (reader.entries_[end - 1] != kCsrEndOfList) {
+      return corrupt_data("csr record " + std::to_string(v) +
+                          " missing sentinel in " + base_path);
+    }
+  }
   return reader;
 }
 

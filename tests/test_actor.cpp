@@ -1,17 +1,35 @@
 // Unit and stress tests for the actor runtime: mailbox delivery order,
 // scheduler fairness, wakeup races, and cross-actor messaging patterns
 // (ping-pong, fan-in) resembling the engine's dispatcher/computer flow.
+//
+// Every scheduler-facing test runs under BOTH run-queue substrates
+// (SchedulerMode::kGlobalQueue and kWorkStealing) via TEST_P, so the
+// ablation fallback stays as correct as the default. Single-threaded
+// properties of the Chase–Lev deque (LIFO/FIFO ends, growth, overflow)
+// are covered here; the multi-thief races live in test_sanitize_stress.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <numeric>
 #include <vector>
 
 #include "actor/actor_system.hpp"
+#include "actor/work_stealing_deque.hpp"
 
 namespace gpsa {
 namespace {
+
+class SchedulerModeTest : public ::testing::TestWithParam<SchedulerMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSubstrates, SchedulerModeTest,
+    ::testing::Values(SchedulerMode::kGlobalQueue,
+                      SchedulerMode::kWorkStealing),
+    [](const ::testing::TestParamInfo<SchedulerMode>& param) {
+      return scheduler_mode_name(param.param);
+    });
 
 /// Records received ints; fulfils a promise at a target count.
 class CollectorActor final : public Actor<int> {
@@ -34,8 +52,8 @@ class CollectorActor final : public Actor<int> {
   std::promise<std::vector<int>> promise_;
 };
 
-TEST(Actor, DeliversInOrderFromOneSender) {
-  ActorSystem system(2);
+TEST_P(SchedulerModeTest, DeliversInOrderFromOneSender) {
+  ActorSystem system(2, 256, GetParam());
   auto* collector = system.spawn<CollectorActor>(1000U);
   auto future = collector->future();
   for (int i = 0; i < 1000; ++i) {
@@ -49,10 +67,10 @@ TEST(Actor, DeliversInOrderFromOneSender) {
   system.shutdown();
 }
 
-TEST(Actor, FanInFromManyThreadsDeliversAll) {
+TEST_P(SchedulerModeTest, FanInFromManyThreadsDeliversAll) {
   constexpr int kSenders = 8;
   constexpr int kEach = 5000;
-  ActorSystem system(4);
+  ActorSystem system(4, 256, GetParam());
   auto* collector = system.spawn<CollectorActor>(
       static_cast<std::size_t>(kSenders * kEach));
   auto future = collector->future();
@@ -97,8 +115,8 @@ class RelayActor final : public Actor<int> {
   std::promise<void> promise_;
 };
 
-TEST(Actor, PingPongTerminates) {
-  ActorSystem system(2);
+TEST_P(SchedulerModeTest, PingPongTerminates) {
+  ActorSystem system(2, 256, GetParam());
   auto* a = system.spawn<RelayActor>();
   auto* b = system.spawn<RelayActor>();
   a->set_peer(b);
@@ -110,11 +128,11 @@ TEST(Actor, PingPongTerminates) {
   system.shutdown();
 }
 
-TEST(Actor, ThousandsOfActorsAllRun) {
+TEST_P(SchedulerModeTest, ThousandsOfActorsAllRun) {
   // The paper claims "scalable parallelism with thousands of actors";
   // spawn 2000 collectors and touch each once.
   constexpr int kActors = 2000;
-  ActorSystem system(4);
+  ActorSystem system(4, 256, GetParam());
   std::vector<CollectorActor*> actors;
   std::vector<std::future<std::vector<int>>> futures;
   actors.reserve(kActors);
@@ -144,10 +162,10 @@ class CountingActor final : public Actor<int> {
   }
 };
 
-TEST(Scheduler, BatchBoundPreventsStarvation) {
+TEST_P(SchedulerModeTest, BatchBoundPreventsStarvation) {
   // One worker, tiny batches: a flooded actor must not starve a second
   // actor whose single message arrives after the flood begins.
-  ActorSystem system(1, /*batch_size=*/8);
+  ActorSystem system(1, /*batch_size=*/8, GetParam());
   auto* flooded = system.spawn<CountingActor>();
   auto* starved = system.spawn<CollectorActor>(1U);
   auto future = starved->future();
@@ -157,23 +175,71 @@ TEST(Scheduler, BatchBoundPreventsStarvation) {
   starved->send(7);
   // If the scheduler let `flooded` run to completion in one slice, this
   // future would still resolve, but only after all 100k messages; the
-  // batch bound makes it resolve promptly. Either way it must resolve.
+  // batch bound (and, in stealing mode, the fairness tick that services
+  // the injector) makes it resolve promptly. Either way it must resolve.
   const auto got = future.get();
   EXPECT_EQ(got[0], 7);
   system.shutdown();
   EXPECT_GT(system.scheduler().slices_executed(), 100'000U / 8 / 2);
 }
 
-TEST(Scheduler, StopIsIdempotent) {
-  ActorSystem system(2);
+TEST_P(SchedulerModeTest, TwoFloodedActorsShareOneWorker) {
+  // Both actors continuously re-enqueue themselves on a single worker. In
+  // stealing mode the re-enqueue is a local LIFO push, so without the
+  // fairness tick one actor could monopolize the worker forever; this
+  // pins the anti-starvation guarantee for the self-re-enqueue shape.
+  ActorSystem system(1, /*batch_size=*/4, GetParam());
+  auto* first = system.spawn<CountingActor>();
+  auto* second = system.spawn<CountingActor>();
+  for (int i = 0; i < 20'000; ++i) {
+    first->send(i);
+    second->send(i);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((first->count.load() < 20'000 || second->count.load() < 20'000) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(first->count.load(), 20'000U);
+  EXPECT_EQ(second->count.load(), 20'000U);
+  system.shutdown();
+}
+
+TEST_P(SchedulerModeTest, PingStormOneProducerManyWorkers) {
+  // Wake-path regression (ISSUE 2 satellite): one producer sends isolated
+  // single messages with pauses long enough for every worker to park
+  // between sends. Each send must produce exactly one effective wakeup; a
+  // lost notify_one (global mode: notify racing the cv_ wait predicate;
+  // stealing mode: a parked bit set after the enqueuer's bitmap read)
+  // strands the message and hangs the final future, which the ctest
+  // timeout turns into a hard failure.
+  constexpr int kPings = 600;
+  ActorSystem system(4, 256, GetParam());
+  auto* collector = system.spawn<CollectorActor>(kPings);
+  auto future = collector->future();
+  for (int i = 0; i < kPings; ++i) {
+    collector->send(i);
+    if (i % 3 == 0) {
+      // Long enough for all four workers to run dry and park.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  const auto received = future.get();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kPings));
+  system.shutdown();
+}
+
+TEST_P(SchedulerModeTest, StopIsIdempotent) {
+  ActorSystem system(2, 256, GetParam());
   auto* collector = system.spawn<CollectorActor>(1U);
   collector->send(1);
   system.shutdown();
   system.shutdown();  // second call must be a no-op
 }
 
-TEST(Actor, MailboxSizeVisible) {
-  ActorSystem system(1);
+TEST_P(SchedulerModeTest, MailboxSizeVisible) {
+  ActorSystem system(1, 256, GetParam());
   // Block the single worker with a long-running actor message so queued
   // messages are observable.
   class Blocker final : public Actor<int> {
@@ -195,6 +261,87 @@ TEST(Actor, MailboxSizeVisible) {
   EXPECT_GE(blocker->mailbox_size(), 2U);
   blocker->release.store(true);
   system.shutdown();
+}
+
+TEST(SchedulerEnv, ModeFromEnvParsesBothSpellings) {
+  EXPECT_STREQ(scheduler_mode_name(SchedulerMode::kGlobalQueue), "global");
+  EXPECT_STREQ(scheduler_mode_name(SchedulerMode::kWorkStealing), "stealing");
+  ::setenv("GPSA_SCHEDULER", "global", 1);
+  EXPECT_EQ(scheduler_mode_from_env(), SchedulerMode::kGlobalQueue);
+  ::setenv("GPSA_SCHEDULER", "stealing", 1);
+  EXPECT_EQ(scheduler_mode_from_env(), SchedulerMode::kWorkStealing);
+  ::unsetenv("GPSA_SCHEDULER");
+  EXPECT_EQ(scheduler_mode_from_env(), SchedulerMode::kWorkStealing);
+}
+
+// --- WorkStealingDeque single-thread properties ------------------------------
+
+TEST(WorkStealingDeque, OwnerEndIsLifoStealEndIsFifo) {
+  WorkStealingDeque<int> deque(8, 64);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(deque.push(i));
+  }
+  EXPECT_EQ(deque.approx_size(), 5U);
+  EXPECT_EQ(deque.pop(), 5);    // owner: newest first
+  EXPECT_EQ(deque.steal(), 1);  // thief: oldest first
+  EXPECT_EQ(deque.pop(), 4);
+  EXPECT_EQ(deque.steal(), 2);
+  EXPECT_EQ(deque.pop(), 3);
+  EXPECT_EQ(deque.pop(), std::nullopt);
+  EXPECT_EQ(deque.steal(), std::nullopt);
+  EXPECT_TRUE(deque.approx_empty());
+}
+
+TEST(WorkStealingDeque, GrowsByDoublingAndPreservesContents) {
+  WorkStealingDeque<int> deque(4, 1024);
+  EXPECT_EQ(deque.capacity(), 4U);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(deque.push(i));
+  }
+  EXPECT_EQ(deque.capacity(), 128U);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(deque.steal(), i);  // FIFO across every growth boundary
+  }
+  EXPECT_TRUE(deque.approx_empty());
+}
+
+TEST(WorkStealingDeque, PushFailsAtMaxCapacityThenRecovers) {
+  WorkStealingDeque<int> deque(4, 8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(deque.push(i));
+  }
+  EXPECT_FALSE(deque.push(8));  // full at max: caller must overflow
+  EXPECT_EQ(deque.approx_size(), 8U);
+  EXPECT_EQ(deque.pop(), 7);
+  EXPECT_TRUE(deque.push(8));  // space again after a pop
+  EXPECT_EQ(deque.pop(), 8);
+}
+
+TEST(WorkStealingDeque, InterleavedPushPopNeverLosesItems) {
+  WorkStealingDeque<std::uint64_t> deque(8, 4096);
+  std::uint64_t next = 0;
+  std::uint64_t seen = 0;
+  std::uint64_t expect_sum = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const int pushes = 1 + (round % 3);
+    for (int i = 0; i < pushes; ++i) {
+      expect_sum += next;
+      ASSERT_TRUE(deque.push(next++));
+    }
+    if (round % 2 == 0) {
+      if (auto v = deque.pop()) {
+        seen += *v;
+      }
+    } else {
+      if (auto v = deque.steal()) {
+        seen += *v;
+      }
+    }
+  }
+  while (auto v = deque.pop()) {
+    seen += *v;
+  }
+  EXPECT_EQ(seen, expect_sum);
 }
 
 }  // namespace

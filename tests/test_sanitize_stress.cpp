@@ -25,11 +25,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "actor/actor_system.hpp"
+#include "actor/work_stealing_deque.hpp"
 #include "platform/file_util.hpp"
 #include "storage/recovery.hpp"
 #include "storage/value_file.hpp"
@@ -425,6 +429,176 @@ TEST(ForkCrash, RepeatedCrashesAtEverySuperstepStillRecover) {
       }
     });
     expect_recovered_to(path, k, kVertices);
+  }
+}
+
+// --- 4. Chase–Lev work-stealing deque (scheduler substrate) ------------------
+//
+// The scheduler's per-worker run queues (src/actor/work_stealing_deque.hpp)
+// have exactly three racy windows, and each test below parks the threads in
+// one of them: owner bottom-end pop vs. thief top-end CAS on the final
+// element; steal() reading a retired ring mid-grow; and the empty-steal ABA
+// window (thief reads a cell, loses the top_ CAS, and must discard). Every
+// test proves the global exactly-once property: each pushed value is
+// consumed by precisely one thread.
+
+/// Runs `thieves` stealing threads against one owner executing `owner_fn`.
+/// Every value in [0, total) must be consumed exactly once across all
+/// threads; `claimed` is validated at the end.
+void run_deque_race(WorkStealingDeque<std::uint64_t>& deque,
+                    std::uint64_t total, int thieves,
+                    const std::function<void(std::atomic<std::int64_t>&,
+                                             std::vector<std::atomic<int>>&)>&
+                        owner_fn) {
+  std::atomic<std::int64_t> remaining{static_cast<std::int64_t>(total)};
+  std::vector<std::atomic<int>> claimed(total);
+  for (auto& c : claimed) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  std::vector<std::thread> thief_threads;
+  thief_threads.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t) {
+    thief_threads.emplace_back([&deque, &remaining, &claimed] {
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (auto v = deque.steal()) {
+          EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0)
+              << "value " << *v << " stolen twice";
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    });
+  }
+  owner_fn(remaining, claimed);
+  for (auto& t : thief_threads) {
+    t.join();
+  }
+  ASSERT_EQ(remaining.load(), 0);
+  for (std::uint64_t v = 0; v < total; ++v) {
+    ASSERT_EQ(claimed[v].load(), 1) << "value " << v;
+  }
+}
+
+TEST(WorkStealingDequeRace, OwnerPopRacesManyThieves) {
+  // Owner alternates push bursts with pop drains while thieves hammer the
+  // top end; the hot spot is the final-element CAS arbitration between
+  // pop() and steal().
+  constexpr std::uint64_t kTotal = 100'000 / kScaleDivisor;
+  WorkStealingDeque<std::uint64_t> deque(64, std::size_t{1} << 17);
+  run_deque_race(deque, kTotal, 3, [&deque](auto& remaining, auto& claimed) {
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      // Small bursts keep the deque short, so pop and steal collide on the
+      // same few elements instead of working disjoint ends.
+      for (int i = 0; i < 4 && next < kTotal; ++i) {
+        EXPECT_TRUE(deque.push(next++));
+      }
+      for (int i = 0; i < 3; ++i) {
+        if (auto v = deque.pop()) {
+          EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0)
+              << "value " << *v << " popped twice";
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    }
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      if (auto v = deque.pop()) {
+        EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        std::this_thread::yield();  // thieves are finishing the tail
+      }
+    }
+  });
+}
+
+TEST(WorkStealingDequeRace, StealDuringResize) {
+  // Tiny initial ring + sustained push pressure: the owner grows the ring
+  // many times while thieves hold pointers into retired rings. A steal
+  // that reads a stale ring must still return the correct element or lose
+  // its CAS — never a torn/wrong value (exactly-once check catches both).
+  constexpr std::uint64_t kTotal = 100'000 / kScaleDivisor;
+  WorkStealingDeque<std::uint64_t> deque(8, std::size_t{1} << 17);
+  run_deque_race(deque, kTotal, 3, [&deque](auto& remaining, auto& claimed) {
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      // Long bursts against a ring that starts at 8 force repeated growth
+      // while the thieves are mid-steal.
+      for (int i = 0; i < 512 && next < kTotal; ++i) {
+        EXPECT_TRUE(deque.push(next++));
+      }
+      if (auto v = deque.pop()) {
+        EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      if (auto v = deque.pop()) {
+        EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+TEST(WorkStealingDequeRace, EmptyStealAbaWindow) {
+  // The deque oscillates between empty and one element, so nearly every
+  // steal() lands in the ABA window: read a cell, then find top_ moved.
+  // A stale read that *wins* its CAS anyway would double-deliver; the
+  // claimed[] check would trip.
+  constexpr std::uint64_t kTotal = 80'000 / kScaleDivisor;
+  WorkStealingDeque<std::uint64_t> deque(8, 64);
+  run_deque_race(deque, kTotal, 4, [&deque](auto& remaining, auto& claimed) {
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      EXPECT_TRUE(deque.push(next++));
+      // Immediately contend for the single element we just made visible.
+      if (auto v = deque.pop()) {
+        EXPECT_EQ(claimed[*v].fetch_add(1, std::memory_order_relaxed), 0)
+            << "value " << *v << " taken twice";
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  });
+}
+
+// --- 5. Scheduler park/wake under oversubscription ---------------------------
+
+TEST(SchedulerPark, StormOfSingleWakeupsDrainsInBothModes) {
+  // Scheduler-level companion to the deque races: isolated enqueues from
+  // an external thread against workers that park between messages. Any
+  // lost wakeup (parked bit set after the enqueuer's bitmap read, or a
+  // cv_ notify racing the wait predicate) deadlocks the final count and
+  // trips the ctest timeout.
+  for (const SchedulerMode mode :
+       {SchedulerMode::kGlobalQueue, SchedulerMode::kWorkStealing}) {
+    SCOPED_TRACE(scheduler_mode_name(mode));
+    class CountDown final : public Actor<int> {
+     public:
+      std::atomic<int> seen{0};
+
+     protected:
+      void on_message(int) override {
+        seen.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    constexpr int kMessages = 4'000 / kScaleDivisor;
+    ActorSystem system(4, 16, mode);
+    auto* actor = system.spawn<CountDown>();
+    for (int i = 0; i < kMessages; ++i) {
+      actor->send(i);
+      if ((i & 15) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    while (actor->seen.load(std::memory_order_relaxed) < kMessages) {
+      std::this_thread::yield();
+    }
+    system.shutdown();
   }
 }
 
