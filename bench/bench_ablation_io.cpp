@@ -1,0 +1,164 @@
+// Ablation: the storage I/O subsystem (src/io/) — backend × readahead
+// sweep on cold page caches.
+//
+// For each dataset (google and pokec stand-ins) and each backend the
+// host supports (mmap and pread always; uring when the kernel grants
+// io_uring_setup), runs GPSA PageRank twice per cell: readahead
+// disabled (GPSA_READAHEAD_MB=0 semantics) and readahead at the
+// default window. Every run uses the cold-start protocol: the engine
+// drops its CSR and value files from the page cache after setup
+// (madvise DONTNEED on the mappings, then posix_fadvise) so dispatch
+// streams refault from storage and the readahead window has real
+// stalls to hide.
+//
+// The headline metric is *dispatch throughput*: CSR + value bytes read
+// per second of summed dispatcher busy time. Busy time is where fetch
+// stalls land, so prefetch that actually overlaps I/O with dispatch
+// raises it; elapsed time alone can hide the effect behind compute.
+//
+// Set GPSA_BENCH_JSON=<path> to dump all cells;
+// scripts/check_io_ratio.py gates CI on the google readahead-on /
+// readahead-off ratio.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/experiment.hpp"
+#include "io/io_backend.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace gpsa;
+
+struct Cell {
+  std::string dataset;
+  IoBackendKind backend = IoBackendKind::kMmap;
+  bool readahead = false;
+  double avg_elapsed_seconds = 0.0;
+  double avg_busy_seconds = 0.0;       // summed over dispatchers
+  std::uint64_t bytes_read = 0;        // per run
+  double dispatch_mb_per_sec = 0.0;
+  PrefetchCounters prefetch;           // last run
+};
+
+}  // namespace
+
+int main() {
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  std::vector<IoBackendKind> backends = {IoBackendKind::kMmap,
+                                         IoBackendKind::kPread};
+  if (IoBackend::supported(IoBackendKind::kUring)) {
+    backends.push_back(IoBackendKind::kUring);
+  } else {
+    std::printf("(uring unsupported here; sweeping mmap and pread)\n");
+  }
+
+  std::printf("== Ablation: I/O backend x readahead, cold page cache "
+              "(scale %.3g, %u run(s)) ==\n\n",
+              exp.scale, exp.runs);
+
+  TextTable table({"dataset", "backend", "readahead", "elapsed (s)",
+                   "busy (s)", "dispatch MB/s", "prefetched MB",
+                   "hit rate", "stall (s)"});
+  std::vector<Cell> cells;
+  bool ok = true;
+  const PageRankProgram pagerank(5);
+  struct Dataset {
+    const char* name;
+    PaperGraph graph;
+  };
+  for (const Dataset& ds : {Dataset{"google", PaperGraph::kGoogle},
+                            Dataset{"pokec", PaperGraph::kPokec}}) {
+    const EdgeList graph = generate_paper_graph(ds.graph, exp.scale, exp.seed);
+    for (const IoBackendKind backend : backends) {
+      for (const bool readahead : {false, true}) {
+        Cell cell;
+        cell.dataset = ds.name;
+        cell.backend = backend;
+        cell.readahead = readahead;
+        double elapsed = 0.0;
+        double busy = 0.0;
+        for (unsigned r = 0; r < exp.runs; ++r) {
+          EngineOptions eo;
+          eo.num_dispatchers = 2;
+          eo.num_computers = 2;
+          eo.max_supersteps = 5;
+          eo.io.backend = backend;
+          // Pinned (not env-derived) so the sweep is self-describing.
+          eo.io.readahead_bytes = readahead ? (std::size_t{8} << 20) : 0;
+          eo.io.cold_start = true;
+          auto result = Engine::run(graph, pagerank, eo);
+          if (!result.is_ok()) {
+            std::fprintf(stderr, "%s: %s\n", ds.name,
+                         result.status().to_string().c_str());
+            ok = false;
+            continue;
+          }
+          elapsed += result.value().elapsed_seconds;
+          for (const double b : result.value().dispatcher_busy_seconds) {
+            busy += b;
+          }
+          cell.bytes_read = result.value().io.bytes_read;
+          cell.prefetch = result.value().prefetch;
+        }
+        cell.avg_elapsed_seconds = elapsed / exp.runs;
+        cell.avg_busy_seconds = busy / exp.runs;
+        cell.dispatch_mb_per_sec =
+            cell.avg_busy_seconds > 0
+                ? static_cast<double>(cell.bytes_read) / (1e6 * cell.avg_busy_seconds)
+                : 0.0;
+        table.add_row(
+            {cell.dataset, io_backend_name(cell.backend),
+             readahead ? "on" : "off",
+             TextTable::num(cell.avg_elapsed_seconds, 4),
+             TextTable::num(cell.avg_busy_seconds, 4),
+             TextTable::num(cell.dispatch_mb_per_sec, 1),
+             TextTable::num(
+                 static_cast<double>(cell.prefetch.bytes_prefetched) / 1e6, 1),
+             TextTable::num(100.0 * cell.prefetch.hit_rate(), 1) + "%",
+             TextTable::num(cell.prefetch.stall_seconds, 4)});
+        cells.push_back(cell);
+      }
+    }
+  }
+  table.print();
+  std::printf("\ndispatch MB/s = bytes read / summed dispatcher busy "
+              "seconds; fetch stalls land in busy time, so effective "
+              "prefetch raises it.\n");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_io");
+  json.key("scale").value(exp.scale);
+  json.key("runs").value(exp.runs);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    json.key("dataset").value(cell.dataset);
+    json.key("backend").value(io_backend_name(cell.backend));
+    json.key("readahead").value(cell.readahead ? "on" : "off");
+    json.key("avg_elapsed_seconds").value(cell.avg_elapsed_seconds);
+    json.key("avg_busy_seconds").value(cell.avg_busy_seconds);
+    json.key("bytes_read").value(cell.bytes_read);
+    json.key("dispatch_mb_per_sec").value(cell.dispatch_mb_per_sec);
+    json.key("bytes_prefetched").value(cell.prefetch.bytes_prefetched);
+    json.key("bytes_dropped").value(cell.prefetch.bytes_dropped);
+    json.key("window_hits").value(cell.prefetch.window_hits);
+    json.key("window_misses").value(cell.prefetch.window_misses);
+    json.key("stall_seconds").value(cell.prefetch.stall_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const Status json_status = write_bench_json(json);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.to_string().c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

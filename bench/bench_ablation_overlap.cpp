@@ -4,11 +4,17 @@
 // dispatchers hold all batches until their scan completes.
 //
 // Runs GPSA PageRank and BFS on the journal stand-in in both modes.
+//
+// Set GPSA_BENCH_JSON=<path> to also write the cells as JSON (consumed
+// by CI artifact uploads alongside the other ablation benches).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/bfs.hpp"
 #include "apps/pagerank.hpp"
 #include "core/engine.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/table.hpp"
 
@@ -24,6 +30,14 @@ int main() {
 
   TextTable table({"algorithm", "mode", "avg elapsed (s)",
                    "avg/superstep (s)", "messages"});
+  struct Cell {
+    std::string algo;
+    bool overlap = false;
+    double avg_seconds = 0.0;
+    std::uint64_t supersteps = 1;
+    std::uint64_t messages = 0;
+  };
+  std::vector<Cell> cells;
   bool ok = true;
   struct Case {
     const char* algo;
@@ -39,9 +53,10 @@ int main() {
       eo.scheduler_workers = 4;  // give both roles runnable contexts
       eo.max_supersteps = 5;
       eo.overlap_dispatch_compute = overlap;
+      Cell cell;
+      cell.algo = c.algo;
+      cell.overlap = overlap;
       double total = 0;
-      std::uint64_t messages = 0;
-      std::uint64_t supersteps = 1;
       for (unsigned r = 0; r < exp.runs; ++r) {
         auto result = Engine::run(graph, c.program, eo);
         if (!result.is_ok()) {
@@ -50,19 +65,47 @@ int main() {
           continue;
         }
         total += result.value().elapsed_seconds;
-        messages = result.value().total_messages;
-        supersteps = result.value().supersteps;
+        cell.messages = result.value().total_messages;
+        cell.supersteps = result.value().supersteps;
       }
-      const double avg = total / exp.runs;
+      cell.avg_seconds = total / exp.runs;
+      cells.push_back(cell);
       table.add_row({c.algo, overlap ? "overlapped (GPSA)" : "sequential BSP",
-                     TextTable::num(avg, 4),
-                     TextTable::num(avg / static_cast<double>(supersteps), 4),
-                     TextTable::num(messages)});
+                     TextTable::num(cell.avg_seconds, 4),
+                     TextTable::num(cell.avg_seconds /
+                                        static_cast<double>(cell.supersteps),
+                                    4),
+                     TextTable::num(cell.messages)});
     }
   }
   table.print();
   std::printf("\nnote: the overlap benefit scales with true core count; on "
               "a 1-core host it shows up mainly as pipelining of mmap "
               "faults against compute.\n");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_overlap");
+  json.key("scale").value(exp.scale);
+  json.key("runs").value(exp.runs);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    json.key("algorithm").value(cell.algo);
+    json.key("mode").value(cell.overlap ? "overlapped" : "sequential");
+    json.key("avg_seconds").value(cell.avg_seconds);
+    json.key("avg_superstep_seconds")
+        .value(cell.avg_seconds / static_cast<double>(cell.supersteps));
+    json.key("supersteps").value(cell.supersteps);
+    json.key("messages").value(cell.messages);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const Status json_status = write_bench_json(json);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.to_string().c_str());
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

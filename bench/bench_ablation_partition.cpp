@@ -1,38 +1,87 @@
 // Ablation: dispatcher interval assignment (§V.A) — uniform vertex counts
 // ("a simple mod algorithm") vs edge-balanced cuts ("every dispatcher
-// sends exactly the same number of messages") — on the heavily skewed
-// twitter stand-in, where hub vertices make uniform cuts lopsided.
+// sends exactly the same number of messages") — on skewed inputs where
+// hub vertices make uniform cuts lopsided:
+//
+//   star       one hub owning half the edges (the adversarial extreme:
+//              whichever interval holds vertex 0 does almost all work);
+//   power-law  the twitter-2010 stand-in (realistic skew).
+//
+// Beyond the static cut imbalance and end-to-end timing, this reports
+// *dispatcher idle time per interval*: each dispatcher accumulates busy
+// wall-clock across its supersteps (RunResult::dispatcher_busy_seconds),
+// and idle = elapsed - busy is the time its interval starved while
+// others still streamed — the direct, per-interval view of what a bad
+// cut costs. Set GPSA_BENCH_JSON=<path> to dump all cells.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/pagerank.hpp"
 #include "core/engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/partition.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "metrics/table.hpp"
 #include "platform/file_util.hpp"
 
+namespace {
+
+using namespace gpsa;
+
+constexpr unsigned kParts = 4;
+
+const char* strategy_name(PartitionStrategy strategy) {
+  return strategy == PartitionStrategy::kUniformVertices ? "uniform"
+                                                         : "edge-balanced";
+}
+
+/// Star with ring: hub 0 points at every spoke, spokes form a ring so no
+/// interval is empty. Half of all edges live in vertex 0's record.
+EdgeList make_star(VertexId spokes) {
+  EdgeList graph;
+  graph.ensure_vertices(spokes + 1);
+  for (VertexId v = 1; v <= spokes; ++v) {
+    graph.add_edge(0, v);
+    graph.add_edge(v, v == spokes ? 1 : v + 1);
+  }
+  return graph;
+}
+
+struct Cell {
+  std::string input;
+  PartitionStrategy strategy = PartitionStrategy::kUniformVertices;
+  double avg_seconds = 0.0;
+  // Per interval, averaged over runs.
+  std::vector<double> busy_seconds;
+  std::vector<double> idle_seconds;
+};
+
+}  // namespace
+
 int main() {
-  using namespace gpsa;
   const ExperimentOptions exp = ExperimentOptions::from_env();
-  const EdgeList graph =
+  const EdgeList powerlaw =
       generate_paper_graph(PaperGraph::kTwitter2010, exp.scale * 0.5,
                            exp.seed);
+  const EdgeList star =
+      make_star(std::max<VertexId>(1024, powerlaw.num_vertices()));
 
-  std::printf("== Ablation: interval partitioning, twitter stand-in "
-              "(scale %.3g) ==\n\n",
+  std::printf("== Ablation: interval partitioning (star + twitter "
+              "stand-in, scale %.3g) ==\n\n",
               exp.scale * 0.5);
 
-  // First: static imbalance of the cuts themselves.
+  // First: static imbalance of the cuts themselves on the power-law input.
   auto dir = ScratchDir::create("partbench");
   dir.status().expect_ok();
   const std::string csr_path = dir.value().file("g.csr");
-  preprocess_edges_to_csr(graph, csr_path, true).expect_ok();
+  preprocess_edges_to_csr(powerlaw, csr_path, true).expect_ok();
   auto reader = CsrFileReader::open(csr_path);
   reader.status().expect_ok();
 
-  constexpr unsigned kParts = 4;
   TextTable cuts({"strategy", "interval", "vertices", "edges",
                   "share of edges"});
   for (const auto strategy : {PartitionStrategy::kUniformVertices,
@@ -40,46 +89,111 @@ int main() {
     const auto intervals = make_intervals(reader.value(), kParts, strategy);
     for (std::size_t i = 0; i < intervals.size(); ++i) {
       cuts.add_row(
-          {strategy == PartitionStrategy::kUniformVertices ? "uniform"
-                                                           : "edge-balanced",
-           TextTable::num(std::uint64_t{i}),
+          {strategy_name(strategy), TextTable::num(std::uint64_t{i}),
            TextTable::num(std::uint64_t{intervals[i].vertex_count()}),
            TextTable::num(intervals[i].edge_count),
            TextTable::num(100.0 * static_cast<double>(intervals[i].edge_count) /
-                              static_cast<double>(graph.num_edges()),
+                              static_cast<double>(powerlaw.num_edges()),
                           1) +
                "%"});
     }
   }
   cuts.print();
 
-  // Second: end-to-end PageRank timing under each strategy.
+  // Second: end-to-end PageRank timing plus per-interval dispatcher
+  // busy/idle under each (input, strategy).
   std::printf("\n");
-  TextTable timing({"strategy", "avg elapsed (s)"});
+  TextTable timing({"input", "strategy", "avg elapsed (s)", "interval",
+                    "busy (s)", "idle (s)", "idle share"});
+  std::vector<Cell> cells;
   bool ok = true;
   const PageRankProgram pagerank(5);
-  for (const auto strategy : {PartitionStrategy::kUniformVertices,
-                              PartitionStrategy::kBalancedEdges}) {
-    double total = 0;
-    for (unsigned r = 0; r < exp.runs; ++r) {
-      EngineOptions eo;
-      eo.num_dispatchers = kParts;
-      eo.num_computers = 2;
-      eo.partition = strategy;
-      eo.max_supersteps = 5;
-      auto result = Engine::run(graph, pagerank, eo);
-      if (!result.is_ok()) {
-        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
-        ok = false;
-        continue;
+  struct Input {
+    const char* name;
+    const EdgeList& graph;
+  };
+  for (const Input& input : {Input{"star", star}, Input{"power-law", powerlaw}}) {
+    for (const auto strategy : {PartitionStrategy::kUniformVertices,
+                                PartitionStrategy::kBalancedEdges}) {
+      Cell cell;
+      cell.input = input.name;
+      cell.strategy = strategy;
+      cell.busy_seconds.assign(kParts, 0.0);
+      cell.idle_seconds.assign(kParts, 0.0);
+      double total = 0;
+      for (unsigned r = 0; r < exp.runs; ++r) {
+        EngineOptions eo;
+        eo.num_dispatchers = kParts;
+        eo.num_computers = 2;
+        eo.partition = strategy;
+        eo.max_supersteps = 5;
+        auto result = Engine::run(input.graph, pagerank, eo);
+        if (!result.is_ok()) {
+          std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+          ok = false;
+          continue;
+        }
+        total += result.value().elapsed_seconds;
+        const auto& busy = result.value().dispatcher_busy_seconds;
+        for (std::size_t d = 0; d < busy.size() && d < kParts; ++d) {
+          cell.busy_seconds[d] += busy[d];
+          cell.idle_seconds[d] +=
+              std::max(0.0, result.value().elapsed_seconds - busy[d]);
+        }
       }
-      total += result.value().elapsed_seconds;
+      cell.avg_seconds = total / exp.runs;
+      for (unsigned d = 0; d < kParts; ++d) {
+        cell.busy_seconds[d] /= exp.runs;
+        cell.idle_seconds[d] /= exp.runs;
+        const double idle_share =
+            cell.avg_seconds > 0 ? cell.idle_seconds[d] / cell.avg_seconds
+                                 : 0.0;
+        timing.add_row(
+            {d == 0 ? cell.input : "", d == 0 ? strategy_name(strategy) : "",
+             d == 0 ? TextTable::num(cell.avg_seconds, 4) : "",
+             TextTable::num(std::uint64_t{d}),
+             TextTable::num(cell.busy_seconds[d], 4),
+             TextTable::num(cell.idle_seconds[d], 4),
+             TextTable::num(100.0 * idle_share, 1) + "%"});
+      }
+      cells.push_back(std::move(cell));
     }
-    timing.add_row({strategy == PartitionStrategy::kUniformVertices
-                        ? "uniform"
-                        : "edge-balanced",
-                    TextTable::num(total / exp.runs, 4)});
   }
   timing.print();
+  std::printf("\nidle = elapsed - busy per dispatcher: time an interval's "
+              "dispatcher starved while other intervals still streamed. "
+              "Edge-balanced cuts should flatten it on skewed inputs.\n");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_partition");
+  json.key("scale").value(exp.scale * 0.5);
+  json.key("runs").value(exp.runs);
+  json.key("intervals").value(kParts);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    json.key("input").value(cell.input);
+    json.key("strategy").value(strategy_name(cell.strategy));
+    json.key("avg_seconds").value(cell.avg_seconds);
+    json.key("busy_seconds").begin_array();
+    for (const double b : cell.busy_seconds) {
+      json.value(b);
+    }
+    json.end_array();
+    json.key("idle_seconds").begin_array();
+    for (const double i : cell.idle_seconds) {
+      json.value(i);
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const Status json_status = write_bench_json(json);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.to_string().c_str());
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate on the I/O ablation: on the cold-cache google stand-in, readahead
+must raise dispatch throughput (bytes read per dispatcher-busy second) by
+the given factor over the readahead-off run of the same backend, for at
+least one backend.
+
+The gate takes the best per-backend ratio rather than demanding every
+backend clear the bar: which backend benefits most is host-dependent
+(mmap's madvise windows on rotational/virtio disks, the block caches on
+NVMe), but *some* backend failing to beat its own no-readahead baseline
+means the readahead scheduler is not doing its job anywhere.
+
+Usage: check_io_ratio.py <bench_ablation_io.json> <min_ratio> [dataset]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    min_ratio = float(sys.argv[2])
+    dataset = sys.argv[3] if len(sys.argv) == 4 else "google"
+
+    by_backend = {}
+    for cell in report["cells"]:
+        if cell["dataset"] != dataset:
+            continue
+        by_backend.setdefault(cell["backend"], {})[cell["readahead"]] = cell
+
+    best = None
+    for backend, by_mode in sorted(by_backend.items()):
+        if "on" not in by_mode or "off" not in by_mode:
+            continue
+        off = by_mode["off"]["dispatch_mb_per_sec"]
+        on = by_mode["on"]["dispatch_mb_per_sec"]
+        if off <= 0:
+            print(f"  {backend}: no-readahead throughput is zero; skipping",
+                  file=sys.stderr)
+            continue
+        ratio = on / off
+        print(f"  {backend}: readahead on/off = {on:.1f}/{off:.1f} MB/s "
+              f"= {ratio:.3f}")
+        if best is None or ratio > best:
+            best = ratio
+
+    if best is None:
+        print(f"no usable {dataset} cells in report", file=sys.stderr)
+        return 1
+    print(f"best readahead ratio on {dataset}: {best:.3f} "
+          f"(need >= {min_ratio})")
+    if best < min_ratio:
+        print("FAIL: readahead did not clear the required dispatch "
+              "throughput ratio", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <limits>
+#include <memory>
+#include <optional>
 
 #include "actor/actor_system.hpp"
 #include "core/messages.hpp"
@@ -18,12 +21,16 @@ namespace gpsa {
 namespace {
 
 /// One simulated node's vertex state: the same two-column slot protocol
-/// as the single-machine value file, held in node-local memory.
+/// as the single-machine value file, held in node-local memory — or, when
+/// ClusterOptions::value_store_dir is set, in a real per-node value file
+/// constructed through the I/O backend (slots indexed node-locally, so
+/// each file covers exactly the node's slice as it would on a real node).
 struct NodeState {
   VertexId begin = 0;
   VertexId end = 0;
   std::vector<Slot> columns[2];
   std::vector<std::uint8_t> latest;
+  std::optional<ValueFile> file;
 
   void init(VertexId begin_vertex, VertexId end_vertex,
             const Program& program, VertexId num_vertices) {
@@ -40,15 +47,46 @@ struct NodeState {
     }
   }
 
+  Status init_file_backed(IoBackend& backend, const std::string& path,
+                          VertexId begin_vertex, VertexId end_vertex,
+                          const Program& program, VertexId num_vertices) {
+    begin = begin_vertex;
+    end = end_vertex;
+    const VertexId size = end - begin;
+    latest.assign(size, 0);
+    if (size == 0) {
+      return Status::ok();  // nothing to own; keep the (empty) vectors
+    }
+    GPSA_ASSIGN_OR_RETURN(ValueFile f,
+                          backend.create_value_file(path, size, program.name()));
+    for (VertexId v = begin; v < end; ++v) {
+      const Program::InitialState st = program.init(v, num_vertices);
+      f.store(v - begin, 0, make_slot(st.value, !st.active));
+      f.store(v - begin, 1, make_slot(st.value, true));
+    }
+    file.emplace(std::move(f));
+    return Status::ok();
+  }
+
   Slot load(VertexId v, unsigned column) const {
+    if (file) {
+      return file->load(v - begin, column);
+    }
     return std::atomic_ref<const Slot>(columns[column][v - begin])
         .load(std::memory_order_relaxed);
   }
   void store(VertexId v, unsigned column, Slot value) {
+    if (file) {
+      file->store(v - begin, column, value);
+      return;
+    }
     std::atomic_ref<Slot>(columns[column][v - begin])
         .store(value, std::memory_order_relaxed);
   }
   Slot consume(VertexId v, unsigned column) {
+    if (file) {
+      return file->consume(v - begin, column);
+    }
     return std::atomic_ref<Slot>(columns[column][v - begin])
         .fetch_or(kSlotStaleBit, std::memory_order_relaxed);
   }
@@ -401,10 +439,30 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
   const Topology topology(std::move(boundaries));
   const unsigned nodes = topology.num_nodes();
 
+  std::unique_ptr<IoBackend> backend;
+  if (!options.value_store_dir.empty()) {
+    GPSA_ASSIGN_OR_RETURN(const IoConfig io_config, options.io.resolve());
+    GPSA_ASSIGN_OR_RETURN(backend, IoBackend::create(io_config));
+    std::error_code ec;
+    std::filesystem::create_directories(options.value_store_dir, ec);
+    if (ec) {
+      return io_error("ClusterEngine: cannot create value store dir " +
+                      options.value_store_dir + ": " + ec.message());
+    }
+  }
+
   std::vector<NodeState> states(nodes);
   for (unsigned node = 0; node < nodes; ++node) {
-    states[node].init(intervals[node].begin_vertex,
-                      intervals[node].end_vertex, program, n);
+    if (backend != nullptr) {
+      GPSA_RETURN_IF_ERROR(states[node].init_file_backed(
+          *backend,
+          options.value_store_dir + "/node" + std::to_string(node) + ".values",
+          intervals[node].begin_vertex, intervals[node].end_vertex, program,
+          n));
+    } else {
+      states[node].init(intervals[node].begin_vertex,
+                        intervals[node].end_vertex, program, n);
+    }
   }
 
   std::uint64_t budget = program.max_supersteps();

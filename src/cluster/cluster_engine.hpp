@@ -18,9 +18,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "core/program.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/partition.hpp"
+#include "io/io_backend.hpp"
 #include "util/status.hpp"
 
 namespace gpsa {
@@ -36,6 +39,13 @@ struct ClusterOptions {
   /// Modeled interconnect for the network-time estimate.
   double net_bandwidth_mbps = 1000.0;  // ~gigabit
   double net_latency_us_per_batch = 50.0;
+  /// When non-empty, each node's two-column value store becomes a real
+  /// on-disk value file at "<value_store_dir>/node<k>.values", constructed
+  /// through the configured I/O backend — the per-node placement a
+  /// distributed deployment would use. Empty keeps the in-memory store.
+  std::string value_store_dir;
+  /// Storage I/O configuration for the per-node value files (src/io/).
+  IoOptions io;
 };
 
 struct ClusterRunResult {

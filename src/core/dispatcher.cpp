@@ -3,16 +3,21 @@
 #include "core/computer.hpp"
 #include "core/manager.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace gpsa {
 
 DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
-                                 const CsrFileReader& csr, ValueFile& values,
-                                 const Program& program,
+                                 const CsrFileReader& csr,
+                                 CsrEntryStream& stream,
+                                 ReadaheadScheduler& readahead,
+                                 ValueFile& values, const Program& program,
                                  std::size_t batch_size, Behavior behavior)
     : id_(id),
       interval_(interval),
       csr_(csr),
+      stream_(stream),
+      readahead_(readahead),
       values_(values),
       program_(program),
       batch_size_(batch_size),
@@ -60,35 +65,42 @@ void DispatcherActor::on_message(DispatcherMsg msg) {
 }
 
 void DispatcherActor::run_iteration(std::uint64_t superstep) {
+  const ScopedAccumulator busy(busy_seconds_);
   messages_this_superstep_ = 0;
   const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
   const bool has_degree = csr_.has_degree();
-  const auto entries = csr_.entries();
   const auto offsets = csr_.record_offsets();
 
+  readahead_.begin_superstep();
+
   // Algorithm 2: stream the interval's records in id order, driven by the
-  // entry cursor (`curoff`), skipping stale vertices.
+  // entry cursor (`curoff`), skipping stale vertices. Record bytes come
+  // through the I/O backend's stream; the reader only supplies offsets.
   std::uint64_t cursor = interval_.begin_entry;
   vertex_checks_total_ += interval_.vertex_count();
   for (VertexId v = interval_.begin_vertex; v < interval_.end_vertex; ++v) {
     GPSA_DCHECK(cursor == offsets[v]);
+    readahead_.advance(cursor, v);
     const Slot slot = values_.load(v, dispatch_col);
     if (!behavior_.dispatch_inactive && slot_is_stale(slot)) {
       cursor = offsets[v + 1];  // skip(sequence)
       continue;
     }
-    entries_read_total_ += offsets[v + 1] - cursor;
+    const std::uint64_t record_entries = offsets[v + 1] - cursor;
+    entries_read_total_ += record_entries;
+    const std::int32_t* record = stream_.fetch_record(cursor, record_entries);
+    cursor = offsets[v + 1];
     const Payload value = slot_payload(slot);
+    std::uint64_t i = 0;
     std::uint32_t degree;
     if (has_degree) {
-      degree = static_cast<std::uint32_t>(entries[cursor]);
-      ++cursor;
+      degree = static_cast<std::uint32_t>(record[i++]);
     } else {
-      degree = static_cast<std::uint32_t>(offsets[v + 1] - cursor - 1);
+      degree = static_cast<std::uint32_t>(record_entries - 1);
     }
-    while (entries[cursor] != kCsrEndOfList) {
-      const VertexId dst = static_cast<VertexId>(entries[cursor]);
-      ++cursor;
+    while (record[i] != kCsrEndOfList) {
+      const VertexId dst = static_cast<VertexId>(record[i]);
+      ++i;
       const Payload message = program_.gen_msg(v, dst, value, degree);
       const std::size_t owner = dst % computers_.size();
       if (combining_) {
@@ -109,7 +121,6 @@ void DispatcherActor::run_iteration(std::uint64_t superstep) {
         flush_batch(owner, superstep);
       }
     }
-    ++cursor;  // past the -1 sentinel
     // Consume: "after a dispatcher finishes processing, it will invalidate
     // the value of the current vertex by setting its highest bit to 1".
     values_.consume(v, dispatch_col);

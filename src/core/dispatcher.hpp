@@ -19,6 +19,8 @@
 #include "core/program.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/partition.hpp"
+#include "io/csr_stream.hpp"
+#include "io/readahead.hpp"
 #include "storage/value_file.hpp"
 
 namespace gpsa {
@@ -38,8 +40,12 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
     bool combine = false;
   };
 
+  /// `stream` carries the interval's record bytes (the reader supplies
+  /// only metadata: offsets, degree flag); `readahead` runs the window
+  /// policy over it and the value file. Both must outlive the actor.
   DispatcherActor(std::uint32_t id, Interval interval,
-                  const CsrFileReader& csr, ValueFile& values,
+                  const CsrFileReader& csr, CsrEntryStream& stream,
+                  ReadaheadScheduler& readahead, ValueFile& values,
                   const Program& program, std::size_t batch_size,
                   Behavior behavior);
 
@@ -56,6 +62,11 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   /// Vertices examined (one value-slot check each per superstep).
   std::uint64_t vertex_checks_total() const { return vertex_checks_total_; }
 
+  /// Wall time spent inside run_iteration — the engine derives per-
+  /// dispatcher idle time (elapsed - busy) from it for the partition
+  /// ablation.
+  double busy_seconds() const { return busy_seconds_; }
+
  protected:
   void on_message(DispatcherMsg msg) override;
 
@@ -67,6 +78,8 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   const std::uint32_t id_;
   const Interval interval_;
   const CsrFileReader& csr_;
+  CsrEntryStream& stream_;
+  ReadaheadScheduler& readahead_;
   ValueFile& values_;
   const Program& program_;
   const std::size_t batch_size_;
@@ -85,6 +98,7 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   std::uint64_t messages_sent_total_ = 0;
   std::uint64_t entries_read_total_ = 0;
   std::uint64_t vertex_checks_total_ = 0;
+  double busy_seconds_ = 0.0;
 };
 
 }  // namespace gpsa

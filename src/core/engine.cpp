@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <limits>
+#include <memory>
 
 #include "actor/actor_system.hpp"
 #include "core/computer.hpp"
@@ -31,7 +32,7 @@ Status validate(const EngineOptions& options) {
   return Status::ok();
 }
 
-Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
+Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
                            const EngineOptions& options,
                            const std::string& value_path, bool resume) {
   const VertexId n = csr.num_vertices();
@@ -39,11 +40,16 @@ Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
     return invalid_argument("engine: graph has no vertices");
   }
 
+  // --- Storage I/O subsystem (src/io/): backend + readahead config. ------
+  GPSA_ASSIGN_OR_RETURN(const IoConfig io_config, options.io.resolve());
+  GPSA_ASSIGN_OR_RETURN(const std::unique_ptr<IoBackend> backend,
+                        IoBackend::create(io_config));
+
   // --- Value file: create + initialize, or resume after a crash. ---------
   ValueFile values;
   std::vector<std::uint8_t> latest_column(n, 0);
   if (resume && file_exists(value_path)) {
-    GPSA_ASSIGN_OR_RETURN(values, ValueFile::open(value_path));
+    GPSA_ASSIGN_OR_RETURN(values, backend->open_value_file(value_path));
     if (values.num_vertices() != n) {
       return failed_precondition("engine: value file vertex count mismatch");
     }
@@ -63,8 +69,8 @@ Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
     GPSA_LOG(Info) << "engine: resuming '" << program.name()
                    << "' at superstep " << report.resume_superstep;
   } else {
-    GPSA_ASSIGN_OR_RETURN(values,
-                          ValueFile::create(value_path, n, program.name()));
+    GPSA_ASSIGN_OR_RETURN(
+        values, backend->create_value_file(value_path, n, program.name()));
     const unsigned d0 = ValueFile::dispatch_column(0);
     const unsigned u0 = 1 - d0;
     for (VertexId v = 0; v < n; ++v) {
@@ -79,6 +85,28 @@ Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
   const std::vector<Interval> intervals =
       make_intervals(csr, options.num_dispatchers, options.partition);
   GPSA_CHECK(!intervals.empty());
+
+  // --- Cold-cache protocol (bench_ablation_io): everything written or
+  // faulted in during setup — CSR validation touches every entry page —
+  // is evicted so the run starts against the bare disk. ------------------
+  if (io_config.cold_start) {
+    GPSA_RETURN_IF_ERROR(values.drop_cache());
+    GPSA_RETURN_IF_ERROR(csr.drop_cache());
+  }
+
+  // --- One record stream + readahead scheduler per dispatcher. -----------
+  std::vector<std::unique_ptr<CsrEntryStream>> streams;
+  std::vector<std::unique_ptr<ReadaheadScheduler>> readaheads;
+  streams.reserve(intervals.size());
+  readaheads.reserve(intervals.size());
+  for (const Interval& interval : intervals) {
+    GPSA_ASSIGN_OR_RETURN(auto raw_stream,
+                          backend->open_stream(csr.entry_path()));
+    streams.push_back(std::make_unique<CsrEntryStream>(std::move(raw_stream),
+                                                       csr.entries().size()));
+    readaheads.push_back(std::make_unique<ReadaheadScheduler>(
+        io_config, streams.back().get(), &values, interval));
+  }
 
   std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
   budget = std::min(budget, program.max_supersteps());
@@ -110,8 +138,9 @@ Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
   behavior.combine = options.enable_combiner;
   for (std::uint32_t d = 0; d < intervals.size(); ++d) {
     dispatchers.push_back(system.spawn<DispatcherActor>(
-        d, intervals[d], std::cref(csr), std::ref(values),
-        std::cref(program), options.message_batch, behavior));
+        d, intervals[d], std::cref(csr), std::ref(*streams[d]),
+        std::ref(*readaheads[d]), std::ref(values), std::cref(program),
+        options.message_batch, behavior));
   }
   for (DispatcherActor* dispatcher : dispatchers) {
     dispatcher->connect(computers, manager);
@@ -151,6 +180,12 @@ Result<RunResult> run_impl(const CsrFileReader& csr, const Program& program,
   for (const DispatcherActor* dispatcher : dispatchers) {
     out.io.bytes_read += 4 * (dispatcher->entries_read_total() +
                               dispatcher->vertex_checks_total());
+    out.dispatcher_busy_seconds.push_back(dispatcher->busy_seconds());
+  }
+  out.io_backend = io_config.backend;
+  for (std::size_t d = 0; d < streams.size(); ++d) {
+    out.prefetch += streams[d]->counters();
+    out.prefetch += readaheads[d]->value_counters();
   }
   for (const ComputerActor* computer : computers) {
     out.io.bytes_written += 4 * computer->touches_total();
@@ -189,7 +224,7 @@ Result<RunResult> Engine::run(const EdgeList& graph, const Program& program,
       preprocess_edges_to_csr(graph, csr_path, /*with_degree=*/true));
   const double preprocess_seconds = preprocess_timer.elapsed_seconds();
 
-  GPSA_ASSIGN_OR_RETURN(const CsrFileReader csr, CsrFileReader::open(csr_path));
+  GPSA_ASSIGN_OR_RETURN(CsrFileReader csr, CsrFileReader::open(csr_path));
   GPSA_ASSIGN_OR_RETURN(
       RunResult out,
       run_impl(csr, program, options, dir + "/" + program.name() + ".values",
@@ -212,7 +247,7 @@ Result<RunResult> Engine::run_from_csr(const std::string& csr_base_path,
     scratch.emplace(std::move(s));
   }
 
-  GPSA_ASSIGN_OR_RETURN(const CsrFileReader csr,
+  GPSA_ASSIGN_OR_RETURN(CsrFileReader csr,
                         CsrFileReader::open(csr_base_path));
   return run_impl(csr, program, options,
                   dir + "/" + program.name() + ".values", resume);

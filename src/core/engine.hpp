@@ -28,6 +28,7 @@
 #include "core/program.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/partition.hpp"
+#include "io/io_backend.hpp"
 #include "metrics/io_model.hpp"
 #include "storage/slot.hpp"
 #include "util/status.hpp"
@@ -66,6 +67,10 @@ struct EngineOptions {
   /// Working directory for the CSR and value files; empty -> private
   /// scratch directory removed at teardown.
   std::string work_dir;
+  /// Storage I/O subsystem configuration (src/io/): backend selection,
+  /// readahead window, drop-behind, cold-start. Unset fields follow
+  /// GPSA_IO_BACKEND / GPSA_READAHEAD_MB / etc.
+  IoOptions io;
 };
 
 struct RunResult {
@@ -87,6 +92,14 @@ struct RunResult {
   /// Resident data the engine needs (CSR file + value file) for the
   /// I/O model's in-memory/out-of-core regime decision.
   std::uint64_t working_set_bytes = 0;
+  /// Backend the run actually used (after unsupported-uring fallback).
+  IoBackendKind io_backend = IoBackendKind::kMmap;
+  /// Measured readahead activity summed over all dispatcher streams and
+  /// value-plane windows (metrics/io_model.hpp).
+  PrefetchCounters prefetch;
+  /// Per-dispatcher wall time spent dispatching; elapsed_seconds minus
+  /// this is that dispatcher's idle time (partition-skew diagnostics).
+  std::vector<double> dispatcher_busy_seconds;
 };
 
 class Engine {

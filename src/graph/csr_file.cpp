@@ -1,10 +1,29 @@
 #include "graph/csr_file.hpp"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "platform/file_util.hpp"
+
 namespace gpsa {
+
+namespace {
+// Crash-injection state for the fork-based crash tests. Plain globals:
+// they are only ever set inside a freshly forked, single-threaded child.
+int g_crash_after_flushes = -1;
+bool g_crash_before_index = false;
+}  // namespace
+
+void set_csr_write_crash_after_flushes(int flushes) {
+  g_crash_after_flushes = flushes;
+}
+
+void set_csr_write_crash_before_index(bool crash) {
+  g_crash_before_index = crash;
+}
 
 Status write_csr_file(const Csr& csr, const std::string& base_path,
                       bool with_degree) {
@@ -35,6 +54,7 @@ Status write_csr_file(const Csr& csr, const std::string& base_path,
   std::vector<std::int32_t> buffer;
   buffer.reserve(1 << 16);
   std::uint64_t entry_cursor = 0;
+  int flush_count = 0;
   const auto flush = [&]() -> Status {
     out.write(reinterpret_cast<const char*>(buffer.data()),
               static_cast<std::streamsize>(buffer.size() * sizeof(std::int32_t)));
@@ -42,6 +62,10 @@ Status write_csr_file(const Csr& csr, const std::string& base_path,
       return io_error("write_csr_file: short write to " + base_path);
     }
     buffer.clear();
+    if (g_crash_after_flushes >= 0 && flush_count++ == g_crash_after_flushes) {
+      out.flush();  // make the torn prefix durable, then die mid-write
+      ::_exit(0);
+    }
     return Status::ok();
   };
 
@@ -65,6 +89,10 @@ Status write_csr_file(const Csr& csr, const std::string& base_path,
   offsets.push_back(entry_cursor);
   GPSA_RETURN_IF_ERROR(flush());
   GPSA_CHECK(entry_cursor == num_entries);
+  if (g_crash_before_index) {
+    out.flush();
+    ::_exit(0);
+  }
 
   std::ofstream idx(base_path + ".idx", std::ios::binary | std::ios::trunc);
   if (!idx) {
@@ -189,6 +217,15 @@ Result<CsrFileReader> CsrFileReader::open(const std::string& base_path) {
     }
   }
   return reader;
+}
+
+Status CsrFileReader::drop_cache() {
+  GPSA_RETURN_IF_ERROR(
+      entry_map_.advise_range(0, entry_map_.size(), MmapFile::Advice::kDontNeed));
+  GPSA_RETURN_IF_ERROR(
+      index_map_.advise_range(0, index_map_.size(), MmapFile::Advice::kDontNeed));
+  GPSA_RETURN_IF_ERROR(evict_from_page_cache(entry_map_.path()));
+  return evict_from_page_cache(index_map_.path());
 }
 
 CsrFileReader::VertexRecord CsrFileReader::record(VertexId v) const {

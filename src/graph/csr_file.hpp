@@ -50,6 +50,17 @@ Status write_csr_file(const Csr& csr, const std::string& base_path,
 Status preprocess_edges_to_csr(const EdgeList& edges,
                                const std::string& base_path, bool with_degree);
 
+/// Test-only crash injection for write_csr_file (the fork-based crash
+/// suite): after `flushes` successful entry-buffer flushes the process
+/// _exit()s, leaving a torn entry file and no index. Negative disables
+/// (the default). Only ever set inside a forked child.
+void set_csr_write_crash_after_flushes(int flushes);
+
+/// Test-only: _exit() after the entry file is complete but before the
+/// .idx file is (re)written — the torn state where a stale index from a
+/// previous build can point into a fresh entry file.
+void set_csr_write_crash_before_index(bool crash);
+
 /// Memory-mapped reader over the file pair. The mapping is advised
 /// MADV_SEQUENTIAL: dispatchers stream records in id order.
 class CsrFileReader {
@@ -81,6 +92,16 @@ class CsrFileReader {
   /// Total bytes of the entry file (reported in the Table I bench, which
   /// reproduces the paper's CSR-compression observation for twitter-2010).
   std::uint64_t entry_file_bytes() const { return entry_map_.size(); }
+
+  /// Path of the entry file (the .idx path is this + ".idx"). I/O backends
+  /// open their record streams against it.
+  const std::string& entry_path() const { return entry_map_.path(); }
+
+  /// Cold-cache protocol (bench_ablation_io): release this reader's pages
+  /// from its mappings (madvise DONTNEED) and from the kernel page cache
+  /// (fadvise), so the next scan refaults from disk. Open-time validation
+  /// touches every page, which would otherwise leave a warm cache.
+  Status drop_cache();
 
  private:
   CsrFileHeader header_{};

@@ -1,0 +1,354 @@
+#include "io/block_cache.hpp"
+
+#include <fcntl.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace gpsa {
+
+// ---------------------------------------------------------------------------
+// IoThreadPool
+
+IoThreadPool::IoThreadPool(unsigned threads) {
+  GPSA_CHECK(threads >= 1);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+IoThreadPool::~IoThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void IoThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GPSA_CHECK(!stopping_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void IoThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ with a drained queue
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockCacheStream
+
+BlockCacheStream::BlockCacheStream(std::unique_ptr<BlockLoader> loader,
+                                   std::size_t file_size, std::string path,
+                                   const IoConfig& config)
+    : loader_(std::move(loader)),
+      file_size_(file_size),
+      path_(std::move(path)),
+      block_bytes_(config.block_bytes),
+      capacity_(config.cache_blocks()) {
+  buffers_.reserve(capacity_);
+  free_buffers_.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    buffers_.push_back(std::make_unique<std::byte[]>(block_bytes_));
+    free_buffers_.push_back(i);
+  }
+}
+
+BlockCacheStream::~BlockCacheStream() {
+  // Loads in flight capture `this`; drain them before members go away.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (inflight_ > 0) {
+    wait_for_completion_locked(lock);
+  }
+}
+
+std::size_t BlockCacheStream::block_length(std::uint64_t block) const {
+  const std::uint64_t begin = block * block_bytes_;
+  GPSA_DCHECK(begin < file_size_);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(block_bytes_, file_size_ - begin));
+}
+
+void BlockCacheStream::reap_locked() {
+  if (loader_->inline_completion()) {
+    loader_->poll();
+  }
+}
+
+void BlockCacheStream::wait_for_completion_locked(
+    std::unique_lock<std::mutex>& lock) {
+  GPSA_CHECK(inflight_ > 0);
+  if (loader_->inline_completion()) {
+    // Inline loaders deliver completions on this thread, from inside
+    // wait(), while we still hold the lock — the done callbacks mutate
+    // stream state directly instead of re-locking.
+    loader_->wait();
+  } else {
+    cv_.wait(lock);
+  }
+}
+
+bool BlockCacheStream::take_buffer_locked(std::uint64_t protect_lo,
+                                          std::uint64_t protect_hi,
+                                          bool allow_evict_ahead,
+                                          std::size_t* out) {
+  if (!free_buffers_.empty()) {
+    *out = free_buffers_.back();
+    free_buffers_.pop_back();
+    return true;
+  }
+  // Prefer evicting the consumed prefix (smallest index behind the
+  // protected range), then — only if allowed — the farthest-ahead
+  // prefetch, which costs refetch work but never correctness. Failed
+  // blocks are evictable too (the error is latched in last_error_).
+  auto evictable = [&](const std::map<std::uint64_t, Entry>::value_type& kv) {
+    return kv.second.state != Entry::State::kLoading &&
+           (kv.first < pinned_lo_ || kv.first >= pinned_hi_);
+  };
+  auto evict = [&](std::map<std::uint64_t, Entry>::iterator it) {
+    *out = it->second.buffer;
+    blocks_.erase(it);
+    return true;
+  };
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->first >= protect_lo) {
+      break;
+    }
+    if (evictable(*it)) {
+      return evict(it);
+    }
+  }
+  if (allow_evict_ahead) {
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+      if (it->first < protect_hi) {
+        break;
+      }
+      if (evictable(*it)) {
+        return evict(std::next(it).base());
+      }
+    }
+  }
+  return false;
+}
+
+void BlockCacheStream::start_load_locked(std::uint64_t block,
+                                         std::size_t buffer) {
+  auto [it, inserted] = blocks_.emplace(block, Entry{});
+  GPSA_DCHECK(inserted);
+  it->second.state = Entry::State::kLoading;
+  it->second.buffer = buffer;
+  ++inflight_;
+  ++counters_.reads_issued;
+  const bool inline_done = loader_->inline_completion();
+  loader_->read_async(
+      block * block_bytes_, block_length(block), buffers_[buffer].get(),
+      [this, block, inline_done](Status status) {
+        auto apply = [&] {
+          auto entry = blocks_.find(block);
+          // The entry outlives its load (loading blocks are never
+          // evicted, and the destructor drains before teardown).
+          GPSA_DCHECK(entry != blocks_.end());
+          if (status.is_ok()) {
+            entry->second.state = Entry::State::kReady;
+          } else {
+            entry->second.state = Entry::State::kFailed;
+            last_error_ = status;
+          }
+          --inflight_;
+        };
+        if (inline_done) {
+          apply();  // already under the stream lock (see wait/poll)
+        } else {
+          std::lock_guard<std::mutex> lock(mutex_);
+          apply();
+          // Notify under the lock: the destructor drains on this cv and
+          // destroys it as soon as inflight_ hits zero, so an unlocked
+          // notify could touch a dead condition variable.
+          cv_.notify_all();
+        }
+      });
+}
+
+const std::byte* BlockCacheStream::fetch(std::uint64_t offset,
+                                         std::size_t length) {
+  GPSA_DCHECK(offset + length <= file_size_);
+  if (length == 0) {
+    scratch_.resize(1);
+    return scratch_.data();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  reap_locked();
+  pinned_lo_ = pinned_hi_ = 0;  // previous fetch's view is now invalid
+
+  const std::uint64_t first = offset / block_bytes_;
+  const std::uint64_t last = (offset + length - 1) / block_bytes_;
+
+  // Ranges that would not fit alongside a minimal working set bypass the
+  // cache entirely (giant hub records).
+  if (last - first + 1 > capacity_ - 1) {
+    ++counters_.window_misses;
+    counters_.reads_issued += 1;
+    scratch_.resize(length);
+    WallTimer stall;
+    const Status status = loader_->read_sync(offset, length, scratch_.data());
+    counters_.stall_seconds += stall.elapsed_seconds();
+    if (!status.is_ok()) {
+      last_error_ = status;
+      return nullptr;
+    }
+    return scratch_.data();
+  }
+
+  // Resident check first so hits stay cheap, then start loads for the
+  // missing blocks and wait for the stragglers.
+  bool all_ready = true;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    auto it = blocks_.find(b);
+    if (it == blocks_.end() || it->second.state != Entry::State::kReady) {
+      all_ready = false;
+      break;
+    }
+  }
+  if (all_ready) {
+    ++counters_.window_hits;
+  } else {
+    ++counters_.window_misses;
+    WallTimer stall;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      while (blocks_.find(b) == blocks_.end()) {
+        std::size_t buffer = 0;
+        if (take_buffer_locked(first, last + 1, /*allow_evict_ahead=*/true,
+                               &buffer)) {
+          start_load_locked(b, buffer);
+        } else {
+          // Every buffer is loading; one must finish before we can evict.
+          wait_for_completion_locked(lock);
+        }
+      }
+    }
+    for (std::uint64_t b = first; b <= last; ++b) {
+      while (blocks_.at(b).state == Entry::State::kLoading) {
+        wait_for_completion_locked(lock);
+      }
+      if (blocks_.at(b).state == Entry::State::kFailed) {
+        free_buffers_.push_back(blocks_.at(b).buffer);
+        blocks_.erase(b);  // allow a retry to reload it
+        counters_.stall_seconds += stall.elapsed_seconds();
+        return nullptr;
+      }
+    }
+    counters_.stall_seconds += stall.elapsed_seconds();
+  }
+
+  if (first == last) {
+    pinned_lo_ = first;
+    pinned_hi_ = first + 1;
+    return buffers_[blocks_.at(first).buffer].get() + (offset % block_bytes_);
+  }
+  // Cross-block range: assemble into the scratch buffer (which nothing
+  // evicts, so no pin is needed).
+  scratch_.resize(length);
+  std::size_t copied = 0;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    const std::uint64_t block_begin = b * block_bytes_;
+    const std::uint64_t lo = std::max<std::uint64_t>(offset, block_begin);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(offset + length, block_begin + block_bytes_);
+    std::memcpy(scratch_.data() + copied,
+                buffers_[blocks_.at(b).buffer].get() + (lo - block_begin),
+                hi - lo);
+    copied += hi - lo;
+  }
+  GPSA_DCHECK(copied == length);
+  return scratch_.data();
+}
+
+void BlockCacheStream::will_need(std::uint64_t offset, std::size_t length) {
+  if (length == 0 || offset >= file_size_) {
+    return;
+  }
+  length = std::min<std::size_t>(length, file_size_ - offset);
+  std::unique_lock<std::mutex> lock(mutex_);
+  reap_locked();
+  const std::uint64_t first = offset / block_bytes_;
+  const std::uint64_t last = (offset + length - 1) / block_bytes_;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    if (blocks_.find(b) != blocks_.end()) {
+      continue;
+    }
+    std::size_t buffer = 0;
+    // Prefetch only evicts behind the window — when the cache is full of
+    // useful blocks the window is simply saturated, not worth a stall.
+    if (!take_buffer_locked(first, last + 1, /*allow_evict_ahead=*/false,
+                            &buffer)) {
+      break;
+    }
+    start_load_locked(b, buffer);
+    counters_.bytes_prefetched += block_length(b);
+  }
+}
+
+void BlockCacheStream::drop_behind(std::uint64_t offset) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  reap_locked();
+  const std::uint64_t limit = offset / block_bytes_;  // whole blocks only
+  for (auto it = blocks_.begin();
+       it != blocks_.end() && it->first < limit;) {
+    if (it->second.state == Entry::State::kReady &&
+        (it->first < pinned_lo_ || it->first >= pinned_hi_)) {
+      counters_.bytes_dropped += block_length(it->first);
+      free_buffers_.push_back(it->second.buffer);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Also release the consumed prefix from the kernel page cache — this is
+  // what makes the pread/uring backends genuinely bounded-memory on files
+  // larger than RAM. Only the new [dropped, offset) suffix each time.
+  const std::uint64_t aligned = limit * block_bytes_;
+  if (aligned > dropped_bytes_below_) {
+#if defined(POSIX_FADV_DONTNEED)
+    (void)::posix_fadvise(loader_->fd(),
+                          static_cast<off_t>(dropped_bytes_below_),
+                          static_cast<off_t>(aligned - dropped_bytes_below_),
+                          POSIX_FADV_DONTNEED);
+#endif
+    dropped_bytes_below_ = aligned;
+  }
+}
+
+Status BlockCacheStream::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+PrefetchCounters BlockCacheStream::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace gpsa

@@ -1,0 +1,141 @@
+// Aligned block cache backing the buffered-read backends (pread, uring).
+//
+// A BlockCacheStream slices its file into fixed-size aligned blocks and
+// keeps a bounded set of them in private buffers:
+//
+//   fetch()       assembles a contiguous view from resident blocks,
+//                 loading misses synchronously (counted + stall-timed);
+//   will_need()   starts asynchronous loads for the upcoming window —
+//                 pool pread or io_uring submit, depending on the loader;
+//   drop_behind() evicts buffers wholly below the cursor and fadvises the
+//                 consumed file range out of the page cache.
+//
+// The stream has one consumer (its dispatcher). Completions arrive either
+// from pool threads (PreadPoolBackend) or inline from poll()/wait() calls
+// made under the stream lock (UringBackend) — BlockLoader::inline_completion
+// tells the stream which locking discipline the `done` callback needs.
+//
+// Eviction prefers blocks behind the fetch cursor, then the farthest-ahead
+// prefetch; loading blocks and the pinned fetch range are never evicted.
+// Capacity is IoConfig::cache_blocks() (readahead window + slack); ranges
+// larger than the cache bypass it through BlockLoader::read_sync.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/io_backend.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// How a backend moves bytes from disk into cache buffers.
+class BlockLoader {
+ public:
+  virtual ~BlockLoader() = default;
+
+  /// Starts reading `length` bytes at `offset` into `dest`; calls
+  /// done(status) when finished. Threaded loaders invoke done from a pool
+  /// thread; inline loaders only invoke it from inside poll()/wait().
+  virtual void read_async(std::uint64_t offset, std::size_t length,
+                          std::byte* dest,
+                          std::function<void(Status)> done) = 0;
+
+  /// Blocking read for cache-bypass ranges.
+  virtual Status read_sync(std::uint64_t offset, std::size_t length,
+                           std::byte* dest) = 0;
+
+  /// True when completions are delivered only via poll()/wait() on the
+  /// caller's thread (io_uring); false when they arrive from other threads.
+  virtual bool inline_completion() const = 0;
+
+  /// Reaps any finished completions without blocking (inline loaders).
+  virtual void poll() {}
+
+  /// Blocks until at least one completion was reaped (inline loaders;
+  /// callers guarantee at least one operation is in flight).
+  virtual void wait() {}
+
+  /// Underlying file descriptor (page-cache drop-behind hints).
+  virtual int fd() const = 0;
+};
+
+/// Small shared worker pool executing blocking preads for PreadPoolBackend.
+class IoThreadPool {
+ public:
+  explicit IoThreadPool(unsigned threads);
+  ~IoThreadPool();
+
+  IoThreadPool(const IoThreadPool&) = delete;
+  IoThreadPool& operator=(const IoThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+class BlockCacheStream final : public IoReadStream {
+ public:
+  BlockCacheStream(std::unique_ptr<BlockLoader> loader, std::size_t file_size,
+                   std::string path, const IoConfig& config);
+  ~BlockCacheStream() override;
+
+  std::size_t size() const override { return file_size_; }
+  const std::byte* fetch(std::uint64_t offset, std::size_t length) override;
+  void will_need(std::uint64_t offset, std::size_t length) override;
+  void drop_behind(std::uint64_t offset) override;
+  Status status() const override;
+  PrefetchCounters counters() const override;
+
+ private:
+  struct Entry {
+    enum class State { kLoading, kReady, kFailed };
+    State state = State::kLoading;
+    std::size_t buffer = 0;  // index into buffers_
+  };
+
+  std::size_t block_length(std::uint64_t block) const;
+  void reap_locked();
+  void wait_for_completion_locked(std::unique_lock<std::mutex>& lock);
+  /// Frees a buffer, evicting if necessary. Blocks in [protect_lo,
+  /// protect_hi) are never evicted. Returns false when nothing is
+  /// evictable right now (caller waits or gives up).
+  bool take_buffer_locked(std::uint64_t protect_lo, std::uint64_t protect_hi,
+                          bool allow_evict_ahead, std::size_t* out);
+  /// Starts loading `block` into a freshly taken buffer.
+  void start_load_locked(std::uint64_t block, std::size_t buffer);
+
+  const std::unique_ptr<BlockLoader> loader_;
+  const std::size_t file_size_;
+  const std::string path_;
+  const std::size_t block_bytes_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> blocks_;
+  std::vector<std::unique_ptr<std::byte[]>> buffers_;
+  std::vector<std::size_t> free_buffers_;
+  std::vector<std::byte> scratch_;  // cross-block assembly + bypass
+  std::uint64_t pinned_lo_ = 0, pinned_hi_ = 0;  // last fetch's block range
+  std::uint64_t dropped_bytes_below_ = 0;
+  std::size_t inflight_ = 0;
+  Status last_error_;
+  PrefetchCounters counters_;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,56 @@
+#include "io/csr_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace gpsa {
+
+CsrEntryStream::CsrEntryStream(std::unique_ptr<IoReadStream> stream,
+                               std::uint64_t num_entries)
+    : stream_(std::move(stream)), num_entries_(num_entries) {
+  GPSA_CHECK(stream_ != nullptr);
+  GPSA_CHECK(byte_of(num_entries_) <= stream_->size());
+}
+
+const std::int32_t* CsrEntryStream::fetch_record(std::uint64_t begin,
+                                                 std::uint64_t count) {
+  GPSA_DCHECK(begin + count <= num_entries_);
+  if (begin >= chunk_begin_ && begin + count <= chunk_end_) {
+    return chunk_data_ + (begin - chunk_begin_);
+  }
+  // Refill forward from `begin`: a chunk's worth, or the whole record for
+  // hubs that outgrow one chunk.
+  const std::uint64_t end =
+      std::min(num_entries_, begin + std::max(count, kChunkEntries));
+  const std::byte* data = stream_->fetch(
+      byte_of(begin), static_cast<std::size_t>((end - begin) *
+                                               sizeof(std::int32_t)));
+  if (data == nullptr) {
+    chunk_data_ = nullptr;
+    chunk_begin_ = chunk_end_ = 0;
+    throw std::runtime_error("CSR stream read failed: " +
+                             stream_->status().to_string());
+  }
+  chunk_data_ = reinterpret_cast<const std::int32_t*>(data);
+  chunk_begin_ = begin;
+  chunk_end_ = end;
+  return chunk_data_;
+}
+
+void CsrEntryStream::will_need_entries(std::uint64_t begin,
+                                       std::uint64_t count) {
+  if (begin >= num_entries_ || count == 0) {
+    return;
+  }
+  count = std::min(count, num_entries_ - begin);
+  stream_->will_need(byte_of(begin),
+                     static_cast<std::size_t>(count * sizeof(std::int32_t)));
+}
+
+void CsrEntryStream::drop_behind_entries(std::uint64_t entry) {
+  stream_->drop_behind(byte_of(std::min(entry, num_entries_)));
+}
+
+}  // namespace gpsa

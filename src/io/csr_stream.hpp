@@ -1,0 +1,53 @@
+// Entry-indexed view over a CSR entry file's IoReadStream.
+//
+// The dispatcher thinks in int32 entry indices (Algorithm 2's `curoff`);
+// the backend thinks in bytes. This adapter converts, and amortizes the
+// per-fetch cost (virtual call, and for pread/uring a lock + possible
+// memcpy) by fetching in chunks of kChunkEntries and serving records out
+// of the current chunk until the cursor leaves it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/csr_file.hpp"
+#include "io/io_backend.hpp"
+
+namespace gpsa {
+
+class CsrEntryStream {
+ public:
+  /// 64 Ki entries = 256 KiB per refill, matching the default block size.
+  static constexpr std::uint64_t kChunkEntries = 1u << 16;
+
+  /// `stream` is an open IoReadStream over the CSR *entry* file (the base
+  /// path, not the .idx); `num_entries` comes from the validated reader.
+  CsrEntryStream(std::unique_ptr<IoReadStream> stream,
+                 std::uint64_t num_entries);
+
+  std::uint64_t num_entries() const { return num_entries_; }
+
+  /// Pointer to entries [begin, begin+count), valid until the next call.
+  /// Throws std::runtime_error on an I/O error — dispatchers already
+  /// translate exceptions from run_iteration into WORKER_FAILED.
+  const std::int32_t* fetch_record(std::uint64_t begin, std::uint64_t count);
+
+  /// Readahead/drop-behind in entry units (forwarded as byte hints).
+  void will_need_entries(std::uint64_t begin, std::uint64_t count);
+  void drop_behind_entries(std::uint64_t entry);
+
+  PrefetchCounters counters() const { return stream_->counters(); }
+
+ private:
+  static std::uint64_t byte_of(std::uint64_t entry) {
+    return sizeof(CsrFileHeader) + entry * sizeof(std::int32_t);
+  }
+
+  const std::unique_ptr<IoReadStream> stream_;
+  const std::uint64_t num_entries_;
+  const std::int32_t* chunk_data_ = nullptr;
+  std::uint64_t chunk_begin_ = 0;
+  std::uint64_t chunk_end_ = 0;  // == begin: empty
+};
+
+}  // namespace gpsa

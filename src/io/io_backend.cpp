@@ -1,0 +1,157 @@
+#include "io/io_backend.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace gpsa {
+
+// Implemented in the per-backend translation units.
+Result<std::unique_ptr<IoBackend>> make_mmap_backend(const IoConfig& config);
+Result<std::unique_ptr<IoBackend>> make_pread_backend(const IoConfig& config);
+Result<std::unique_ptr<IoBackend>> make_uring_backend(const IoConfig& config);
+bool uring_runtime_supported();
+
+const char* io_backend_name(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kMmap:
+      return "mmap";
+    case IoBackendKind::kPread:
+      return "pread";
+    case IoBackendKind::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+Result<IoBackendKind> parse_io_backend(std::string_view name) {
+  if (name == "mmap") {
+    return IoBackendKind::kMmap;
+  }
+  if (name == "pread") {
+    return IoBackendKind::kPread;
+  }
+  if (name == "uring") {
+    return IoBackendKind::kUring;
+  }
+  return invalid_argument("unknown I/O backend '" + std::string(name) +
+                          "' (expected mmap|pread|uring)");
+}
+
+namespace {
+
+/// Positive integer from the environment, or `fallback` when unset/bad.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    GPSA_LOG(Warn) << name << "='" << raw << "' is not a number; using "
+                   << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  const std::string_view v(raw);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Result<IoConfig> IoOptions::resolve() const {
+  IoConfig config;
+
+  if (backend.has_value()) {
+    config.backend = *backend;
+  } else if (const char* env = std::getenv("GPSA_IO_BACKEND");
+             env != nullptr && *env != '\0') {
+    GPSA_ASSIGN_OR_RETURN(config.backend, parse_io_backend(env));
+  }
+
+  config.readahead_bytes =
+      readahead_bytes.has_value()
+          ? *readahead_bytes
+          : static_cast<std::size_t>(env_u64("GPSA_READAHEAD_MB", 8)) << 20;
+  config.drop_behind =
+      drop_behind.has_value() ? *drop_behind
+                              : env_bool("GPSA_IO_DROP_BEHIND", true);
+  config.block_bytes =
+      block_bytes.has_value()
+          ? *block_bytes
+          : static_cast<std::size_t>(env_u64("GPSA_IO_BLOCK_KB", 256)) << 10;
+  config.io_threads = io_threads.has_value()
+                          ? *io_threads
+                          : static_cast<unsigned>(env_u64("GPSA_IO_THREADS", 2));
+  config.cold_start = cold_start;
+
+  if (config.block_bytes < (4u << 10)) {
+    return invalid_argument("IoOptions: block_bytes must be >= 4 KiB");
+  }
+  if (config.io_threads == 0) {
+    return invalid_argument("IoOptions: io_threads must be >= 1");
+  }
+
+  // The clean-fallback contract: a uring request on a build or kernel
+  // without io_uring degrades to pread instead of failing the run.
+  if (config.backend == IoBackendKind::kUring &&
+      !IoBackend::supported(IoBackendKind::kUring)) {
+    GPSA_LOG(Warn) << "io: uring backend unavailable "
+                   << "(not compiled in or io_uring_setup refused); "
+                   << "falling back to pread";
+    config.backend = IoBackendKind::kPread;
+  }
+  return config;
+}
+
+Result<ValueFile> IoBackend::create_value_file(const std::string& path,
+                                               VertexId num_vertices,
+                                               const std::string& app_tag) {
+  // The mmap data plane with kRandom advice is the shared default;
+  // backends only differ in how the readahead plane keeps column windows
+  // resident (readahead.hpp).
+  return ValueFile::create(path, num_vertices, app_tag);
+}
+
+Result<ValueFile> IoBackend::open_value_file(const std::string& path) {
+  return ValueFile::open(path);
+}
+
+bool IoBackend::supported(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kMmap:
+    case IoBackendKind::kPread:
+      return true;
+    case IoBackendKind::kUring:
+      return uring_runtime_supported();
+  }
+  return false;
+}
+
+Result<std::unique_ptr<IoBackend>> IoBackend::create(const IoConfig& config) {
+  switch (config.backend) {
+    case IoBackendKind::kMmap:
+      return make_mmap_backend(config);
+    case IoBackendKind::kPread:
+      return make_pread_backend(config);
+    case IoBackendKind::kUring:
+      return make_uring_backend(config);
+  }
+  return invalid_argument("IoBackend::create: bad backend kind");
+}
+
+}  // namespace gpsa

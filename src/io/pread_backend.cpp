@@ -1,0 +1,105 @@
+// PreadPoolBackend: buffered pread through the aligned block cache, with
+// asynchronous prefetch loads executed on a small shared IoThreadPool.
+// Unlike mmap, a miss costs one syscall + memcpy instead of a page fault
+// storm, the cache bound is explicit (IoConfig::cache_blocks), and
+// drop-behind can actually release page-cache pages via posix_fadvise.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <utility>
+
+#include "io/block_cache.hpp"
+#include "io/io_backend.hpp"
+
+namespace gpsa {
+namespace {
+
+Status pread_fully(int fd, std::uint64_t offset, std::size_t length,
+                   std::byte* dest) {
+  std::size_t filled = 0;
+  while (filled < length) {
+    const ssize_t n = ::pread(fd, dest + filled, length - filled,
+                              static_cast<off_t>(offset + filled));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return io_error_errno("pread failed");
+    }
+    if (n == 0) {
+      return io_error("pread hit EOF before the expected " +
+                      std::to_string(length) + " bytes");
+    }
+    filled += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+class PreadLoader final : public BlockLoader {
+ public:
+  PreadLoader(int fd, IoThreadPool* pool) : fd_(fd), pool_(pool) {}
+  ~PreadLoader() override { ::close(fd_); }
+
+  void read_async(std::uint64_t offset, std::size_t length, std::byte* dest,
+                  std::function<void(Status)> done) override {
+    pool_->submit([fd = fd_, offset, length, dest,
+                   done = std::move(done)]() mutable {
+      done(pread_fully(fd, offset, length, dest));
+    });
+  }
+
+  Status read_sync(std::uint64_t offset, std::size_t length,
+                   std::byte* dest) override {
+    return pread_fully(fd_, offset, length, dest);
+  }
+
+  bool inline_completion() const override { return false; }
+
+  int fd() const override { return fd_; }
+
+ private:
+  const int fd_;
+  IoThreadPool* const pool_;
+};
+
+class PreadPoolBackend final : public IoBackend {
+ public:
+  explicit PreadPoolBackend(const IoConfig& config)
+      : IoBackend(config), pool_(config.io_threads) {}
+
+  IoBackendKind kind() const override { return IoBackendKind::kPread; }
+
+  Result<std::unique_ptr<IoReadStream>> open_stream(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return io_error_errno("open('" + path + "') failed");
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const Status status = io_error_errno("fstat('" + path + "') failed");
+      ::close(fd);
+      return status;
+    }
+#if defined(POSIX_FADV_SEQUENTIAL)
+    (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_SEQUENTIAL);
+#endif
+    return std::unique_ptr<IoReadStream>(new BlockCacheStream(
+        std::make_unique<PreadLoader>(fd, &pool_),
+        static_cast<std::size_t>(st.st_size), path, config_));
+  }
+
+ private:
+  IoThreadPool pool_;  // shared by all this backend's streams
+};
+
+}  // namespace
+
+Result<std::unique_ptr<IoBackend>> make_pread_backend(const IoConfig& config) {
+  return std::unique_ptr<IoBackend>(new PreadPoolBackend(config));
+}
+
+}  // namespace gpsa

@@ -43,6 +43,37 @@ struct IoStats {
   }
 };
 
+/// Measured (not modeled) counters from the storage I/O subsystem
+/// (src/io/): what the backend and readahead scheduler actually did during
+/// a run. Backends accumulate these with relaxed atomics (DESIGN.md §9
+/// explains why no stronger ordering is needed on the counter paths) and
+/// snapshot into this plain struct for reporting.
+struct PrefetchCounters {
+  std::uint64_t bytes_prefetched = 0;  // readahead issued ahead of the cursor
+  std::uint64_t bytes_dropped = 0;     // drop-behind on the consumed prefix
+  std::uint64_t window_hits = 0;       // fetches served from a resident window
+  std::uint64_t window_misses = 0;     // fetches that had to load synchronously
+  std::uint64_t reads_issued = 0;      // backend read ops (pread calls / SQEs)
+  double stall_seconds = 0.0;          // time fetches spent waiting on loads
+
+  PrefetchCounters& operator+=(const PrefetchCounters& other) {
+    bytes_prefetched += other.bytes_prefetched;
+    bytes_dropped += other.bytes_dropped;
+    window_hits += other.window_hits;
+    window_misses += other.window_misses;
+    reads_issued += other.reads_issued;
+    stall_seconds += other.stall_seconds;
+    return *this;
+  }
+
+  double hit_rate() const {
+    const std::uint64_t total = window_hits + window_misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(window_hits) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Disk bandwidth for the model, from GPSA_MODEL_DISK_MBPS (default 120).
 /// Returns 0 when modeling is disabled.
 double model_disk_bandwidth_bytes_per_sec();

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 namespace gpsa {
@@ -97,27 +98,51 @@ Status MmapFile::sync() {
   return Status::ok();
 }
 
+namespace {
+
+int advice_flag(MmapFile::Advice advice) {
+  switch (advice) {
+    case MmapFile::Advice::kNormal:
+      return MADV_NORMAL;
+    case MmapFile::Advice::kSequential:
+      return MADV_SEQUENTIAL;
+    case MmapFile::Advice::kRandom:
+      return MADV_RANDOM;
+    case MmapFile::Advice::kWillNeed:
+      return MADV_WILLNEED;
+    case MmapFile::Advice::kDontNeed:
+      return MADV_DONTNEED;
+  }
+  return MADV_NORMAL;
+}
+
+}  // namespace
+
 Status MmapFile::advise(Advice advice) {
   if (base_ == nullptr) {
     return failed_precondition("MmapFile::advise on unmapped file");
   }
-  int flag = MADV_NORMAL;
-  switch (advice) {
-    case Advice::kNormal:
-      flag = MADV_NORMAL;
-      break;
-    case Advice::kSequential:
-      flag = MADV_SEQUENTIAL;
-      break;
-    case Advice::kRandom:
-      flag = MADV_RANDOM;
-      break;
-    case Advice::kWillNeed:
-      flag = MADV_WILLNEED;
-      break;
-  }
-  if (::madvise(base_, size_, flag) != 0) {
+  if (::madvise(base_, size_, advice_flag(advice)) != 0) {
     return io_error_errno("madvise " + path_);
+  }
+  return Status::ok();
+}
+
+Status MmapFile::advise_range(std::size_t offset, std::size_t length,
+                              Advice advice) {
+  if (base_ == nullptr) {
+    return failed_precondition("MmapFile::advise_range on unmapped file");
+  }
+  if (offset >= size_ || length == 0) {
+    return Status::ok();
+  }
+  length = std::min(length, size_ - offset);
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t begin = offset & ~(page - 1);
+  const std::size_t end = std::min(size_, (offset + length + page - 1) & ~(page - 1));
+  if (::madvise(static_cast<std::byte*>(base_) + begin, end - begin,
+                advice_flag(advice)) != 0) {
+    return io_error_errno("madvise(range) " + path_);
   }
   return Status::ok();
 }

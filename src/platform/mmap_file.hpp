@@ -21,7 +21,7 @@ namespace gpsa {
 class MmapFile {
  public:
   enum class Mode { kReadOnly, kReadWrite };
-  enum class Advice { kNormal, kSequential, kRandom, kWillNeed };
+  enum class Advice { kNormal, kSequential, kRandom, kWillNeed, kDontNeed };
 
   MmapFile() = default;
   ~MmapFile();
@@ -67,6 +67,13 @@ class MmapFile {
 
   /// Access-pattern hint forwarded to madvise.
   Status advise(Advice advice);
+
+  /// madvise over a byte sub-range of the mapping. The range is clamped to
+  /// the file and widened to page boundaries (madvise requires a
+  /// page-aligned start). Used by the I/O readahead scheduler for
+  /// WILLNEED/DONTNEED windows; kDontNeed on a MAP_SHARED file mapping is a
+  /// pure cache hint — dirty pages are written back, never lost.
+  Status advise_range(std::size_t offset, std::size_t length, Advice advice);
 
   /// Unmaps and closes. Idempotent; also called by the destructor.
   void close();

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "platform/file_util.hpp"
+
 namespace gpsa {
 
 std::size_t ValueFile::file_size(VertexId num_vertices) {
@@ -56,6 +58,28 @@ std::string ValueFile::app_tag() const {
   const ValueFileHeader& h = header();
   return std::string(h.app_tag,
                      ::strnlen(h.app_tag, sizeof(h.app_tag)));
+}
+
+Status ValueFile::drop_cache() {
+  GPSA_RETURN_IF_ERROR(map_.sync());
+  GPSA_RETURN_IF_ERROR(
+      map_.advise_range(0, map_.size(), MmapFile::Advice::kDontNeed));
+  return evict_from_page_cache(map_.path());
+}
+
+Status ValueFile::advise_vertex_range(VertexId begin, VertexId end,
+                                      MmapFile::Advice advice) {
+  const VertexId n = header().num_vertices;
+  end = end < n ? end : n;
+  if (begin >= end) {
+    return Status::ok();
+  }
+  const std::size_t offset =
+      sizeof(ValueFileHeader) +
+      static_cast<std::size_t>(begin) * kColumns * sizeof(Slot);
+  const std::size_t length =
+      static_cast<std::size_t>(end - begin) * kColumns * sizeof(Slot);
+  return map_.advise_range(offset, length, advice);
 }
 
 Status ValueFile::checkpoint(std::uint64_t completed_supersteps) {

@@ -99,6 +99,19 @@ class ValueFile {
 
   Status sync() { return map_.sync(); }
 
+  /// Cold-cache protocol (bench_ablation_io): flush dirty slots, then
+  /// release the mapping's pages and the kernel page-cache copies.
+  Status drop_cache();
+
+  /// Residency hint over the slot pairs of vertices [begin, end) — the
+  /// readahead scheduler keeps upcoming column pages resident with
+  /// kWillNeed windows ahead of each dispatcher's cursor. Hints always
+  /// cover whole pairs (the columns are interleaved per vertex), which is
+  /// also why drop-behind is never issued here: pages behind the dispatch
+  /// cursor still receive update-column writes (DESIGN.md §9).
+  Status advise_vertex_range(VertexId begin, VertexId end,
+                             MmapFile::Advice advice);
+
   /// Byte size of the whole file for `num_vertices` vertices.
   static std::size_t file_size(VertexId num_vertices);
 

@@ -34,6 +34,9 @@
 
 #include "actor/actor_system.hpp"
 #include "actor/work_stealing_deque.hpp"
+#include "graph/csr.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/edge_list.hpp"
 #include "platform/file_util.hpp"
 #include "storage/recovery.hpp"
 #include "storage/value_file.hpp"
@@ -429,6 +432,150 @@ TEST(ForkCrash, RepeatedCrashesAtEverySuperstepStillRecover) {
       }
     });
     expect_recovered_to(path, k, kVertices);
+  }
+}
+
+// --- 3b. Fork-based crash injection around the CSR preprocessing writer ------
+//
+// The writer emits the entry file in 64Ki-entry buffered flushes, then the
+// .idx offset table. A crash anywhere in that sequence must leave a file
+// pair CsrFileReader::open rejects outright — never a silently usable
+// half-file — and a clean re-run of preprocessing must fully repair it.
+
+/// Ring-with-chords graph sized to force several entry-buffer flushes
+/// (4 entries per vertex with degrees inline; > 3 * 64Ki total).
+EdgeList crash_test_graph(VertexId n, VertexId chord) {
+  EdgeList edges;
+  edges.ensure_vertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    edges.add_edge(v, (v + 1) % n);
+    edges.add_edge(v, (v + chord) % n);
+  }
+  return edges;
+}
+
+/// Forks a child that runs `body` (expected to _exit mid-write via the
+/// csr_file crash hooks) and waits for it.
+void crash_csr_writer_in_child(const std::function<void()>& body) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    body();
+    ::_exit(1);  // the injected crash should have fired before this
+  }
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0);
+}
+
+void expect_csr_matches(const std::string& base, const EdgeList& edges) {
+  auto reader = CsrFileReader::open(base);
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  const Csr truth = Csr::from_edges(edges);
+  ASSERT_EQ(reader.value().num_vertices(), truth.num_vertices());
+  ASSERT_EQ(reader.value().num_edges(), truth.num_edges());
+  for (VertexId v = 0; v < truth.num_vertices(); v += 97) {
+    const auto record = reader.value().record(v);
+    const auto nbrs = truth.neighbors(v);
+    ASSERT_EQ(record.out_degree, nbrs.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_EQ(static_cast<VertexId>(record.targets[i]), nbrs[i])
+          << "vertex " << v << " edge " << i;
+    }
+  }
+}
+
+TEST(ForkCrash, CsrWriterDiesMidEntryFlushes) {
+  // Child dies after its second 64Ki-entry flush: the entry file is a
+  // durable torn prefix and no index exists. open() must reject, and a
+  // clean preprocessing re-run over the wreckage must fully rebuild.
+  constexpr VertexId kVertices = 60'000;  // 240K entries -> several flushes
+  auto dir = ScratchDir::create("forkcsr1");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string base = dir.value().file("graph.csr");
+  const EdgeList edges = crash_test_graph(kVertices, 17);
+
+  crash_csr_writer_in_child([&] {
+    set_csr_write_crash_after_flushes(1);
+    (void)preprocess_edges_to_csr(edges, base, /*with_degree=*/true);
+  });
+
+  ASSERT_TRUE(file_exists(base));
+  EXPECT_FALSE(CsrFileReader::open(base).is_ok())
+      << "torn entry file must not validate";
+
+  ASSERT_TRUE(
+      preprocess_edges_to_csr(edges, base, /*with_degree=*/true).is_ok());
+  expect_csr_matches(base, edges);
+}
+
+TEST(ForkCrash, CsrWriterDiesBeforeIndexRewrite) {
+  // The nastiest torn state: a previous build's .idx survives while the
+  // entry file was fully rewritten for a *different* graph before the
+  // crash. Sizes and endpoints can still line up, so only the reader's
+  // per-record validation (degrees, sentinels) stands between this and a
+  // silent half-file.
+  constexpr VertexId kVertices = 60'000;
+  auto dir = ScratchDir::create("forkcsr2");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string base = dir.value().file("graph.csr");
+  const EdgeList old_edges = crash_test_graph(kVertices, 17);
+  ASSERT_TRUE(
+      preprocess_edges_to_csr(old_edges, base, /*with_degree=*/true).is_ok());
+
+  // Same vertex/edge totals, different degree distribution: vertex 0 takes
+  // both chords of vertex 1, so the stale index's record boundaries no
+  // longer match the new entry file.
+  EdgeList new_edges = old_edges;
+  for (Edge& e : new_edges.edges()) {
+    if (e.src == 1) {
+      e.src = 0;
+    }
+  }
+  crash_csr_writer_in_child([&] {
+    set_csr_write_crash_before_index(true);
+    (void)preprocess_edges_to_csr(new_edges, base, /*with_degree=*/true);
+  });
+
+  EXPECT_FALSE(CsrFileReader::open(base).is_ok())
+      << "stale index over a rewritten entry file must not validate";
+
+  ASSERT_TRUE(
+      preprocess_edges_to_csr(new_edges, base, /*with_degree=*/true).is_ok());
+  expect_csr_matches(base, new_edges);
+}
+
+TEST(ForkCrash, CsrWriterCrashAtEveryFlushBoundaryIsNeverSilent) {
+  // Sweep the crash point across every flush boundary (and one past the
+  // end, where no crash fires): after each wreck, open() either rejects or
+  // — only when the writer actually completed — validates fully. There is
+  // no third outcome.
+  constexpr VertexId kVertices = 60'000;
+  const EdgeList edges = crash_test_graph(kVertices, 29);
+  for (int crash_after = 0; crash_after <= 4; ++crash_after) {
+    auto dir = ScratchDir::create("forkcsr3");
+    ASSERT_TRUE(dir.is_ok());
+    const std::string base = dir.value().file("graph.csr");
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      set_csr_write_crash_after_flushes(crash_after);
+      const Status status =
+          preprocess_edges_to_csr(edges, base, /*with_degree=*/true);
+      ::_exit(status.is_ok() ? 0 : 1);
+    }
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0);
+
+    auto reader = CsrFileReader::open(base);
+    if (reader.is_ok()) {
+      expect_csr_matches(base, edges);  // writer completed before the hook
+    } else {
+      EXPECT_FALSE(file_exists(base + ".idx"))
+          << "crash point " << crash_after
+          << ": rejected file pair should lack the index";
+    }
   }
 }
 
