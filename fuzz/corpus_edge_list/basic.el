@@ -1,0 +1,4 @@
+# gpsa edge list: 4 vertices, 3 edges
+0	1
+1	2
+2	3

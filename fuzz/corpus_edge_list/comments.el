@@ -1,0 +1,5 @@
+0 1
+1 2
+# comment
+% matlab comment
+2 0

@@ -1,0 +1,95 @@
+// libFuzzer harness for the edge-list text reader (EdgeList::read_text),
+// the third untrusted input grammar next to the CSR pair and adjacency
+// text. Crash oracle plus three invariants layered on top:
+//
+//   1. Text round trip: whatever read_text accepts, write_text must
+//      re-serialize to bytes read_text accepts again with identical
+//      vertex/edge totals and identical edges.
+//   2. Binary round trip: write_binary -> read_binary of the parsed list
+//      is an identity (this is the path the bench harness caches graphs
+//      through).
+//   3. canonicalize() is idempotent: a second call must not change the
+//      edge vector again.
+//
+// Digit runs are capped as in the sibling harnesses: huge *valid* ids are
+// rejected by the parser's kMaxParsedVertexId bound anyway, but capping
+// keeps mutation pressure on delimiter/comment/overflow handling instead
+// of on from_chars' overflow path alone.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "platform/file_util.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+// Ids < 100'000; all non-digit bytes pass through untouched.
+std::string cap_digit_runs(const std::uint8_t* data, std::size_t size) {
+  std::string out;
+  out.reserve(size);
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c >= '0' && c <= '9') {
+      if (++run > 5) {
+        continue;
+      }
+    } else {
+      run = 0;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  auto dir = gpsa::ScratchDir::create("fuzz_edge_list");
+  if (!dir.is_ok()) {
+    return 0;
+  }
+  const std::string text = cap_digit_runs(data, size);
+  const std::string text_path = dir.value().file("input.el");
+  if (!gpsa::write_file(text_path, text.data(), text.size()).ok()) {
+    return 0;
+  }
+
+  auto parsed = gpsa::EdgeList::read_text(text_path);
+  if (!parsed.is_ok()) {
+    return 0;
+  }
+  gpsa::EdgeList& graph = parsed.value();
+
+  // Text round trip: totals and edges are invariant.
+  const std::string round_path = dir.value().file("round.el");
+  GPSA_CHECK(graph.write_text(round_path).is_ok());
+  auto reparsed = gpsa::EdgeList::read_text(round_path);
+  GPSA_CHECK(reparsed.is_ok());
+  GPSA_CHECK(reparsed.value().num_edges() == graph.num_edges());
+  GPSA_CHECK(reparsed.value().edges() == graph.edges());
+  // write_text's header comment declares the vertex bound, but read_text
+  // derives the bound from edges alone, so isolated trailing vertices
+  // (ensure_vertices) may shrink; parsed lists never have those.
+  GPSA_CHECK(reparsed.value().num_vertices() == graph.num_vertices());
+
+  // Binary round trip is an identity on the parsed list.
+  const std::string bin_path = dir.value().file("round.bin");
+  GPSA_CHECK(graph.write_binary(bin_path).is_ok());
+  auto rebinary = gpsa::EdgeList::read_binary(bin_path);
+  GPSA_CHECK(rebinary.is_ok());
+  GPSA_CHECK(rebinary.value().num_vertices() == graph.num_vertices());
+  GPSA_CHECK(rebinary.value().edges() == graph.edges());
+
+  // canonicalize is idempotent.
+  graph.canonicalize();
+  const auto once = graph.edges();
+  const auto vertices_once = graph.num_vertices();
+  graph.canonicalize();
+  GPSA_CHECK(graph.edges() == once);
+  GPSA_CHECK(graph.num_vertices() == vertices_once);
+  return 0;
+}

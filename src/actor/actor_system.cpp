@@ -13,7 +13,7 @@ ActorSystem::~ActorSystem() { shutdown(); }
 
 void ActorSystem::shutdown() {
   scheduler_.stop();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shut_down_) {
     return;
   }

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "actor/actor.hpp"
 #include "actor/scheduler.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gpsa {
 
@@ -38,7 +38,7 @@ class ActorSystem {
     T* handle = actor.get();
     handle->attach(&scheduler_);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       actors_.push_back(std::move(actor));
     }
     return handle;
@@ -47,13 +47,13 @@ class ActorSystem {
   Scheduler& scheduler() { return scheduler_; }
 
   /// Stops the scheduler and destroys all actors. Idempotent.
-  void shutdown();
+  void shutdown() GPSA_EXCLUDES(mutex_);
 
  private:
   Scheduler scheduler_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Schedulable>> actors_;
-  bool shut_down_ = false;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Schedulable>> actors_ GPSA_GUARDED_BY(mutex_);
+  bool shut_down_ GPSA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gpsa

@@ -1,3 +1,10 @@
+// gpsa-lint: locked-notify — every condition-variable notify in this file
+// must be issued while the guarding Mutex is held (the predicate re-check
+// under the same mutex makes lost wakeups impossible either way, but
+// notifying under the lock additionally closes the window where a racing
+// stop()+destruction frees the condvar between an unlock and its notify).
+// The worker eventcount (Worker::epoch) is an atomic, not a condvar, and
+// has its own Dekker protocol (see park()/wake_one()).
 #include "actor/scheduler.hpp"
 
 #include <bit>
@@ -89,7 +96,7 @@ Scheduler::~Scheduler() { stop(); }
 void Scheduler::enqueue(Schedulable* unit) {
   GPSA_DCHECK(unit != nullptr);
   if (mode_ == SchedulerMode::kGlobalQueue) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       return;  // shutdown in progress; work is dropped by design
     }
@@ -121,7 +128,7 @@ void Scheduler::enqueue(Schedulable* unit) {
 }
 
 void Scheduler::inject(Schedulable* unit) {
-  std::lock_guard<std::mutex> lock(injector_mutex_);
+  MutexLock lock(injector_mutex_);
   injector_.push_back(unit);
   injector_size_.store(injector_.size(), std::memory_order_release);
 }
@@ -130,7 +137,7 @@ Schedulable* Scheduler::pop_injector() {
   if (injector_size_.load(std::memory_order_acquire) == 0) {
     return nullptr;  // cheap miss: skip the lock
   }
-  std::lock_guard<std::mutex> lock(injector_mutex_);
+  MutexLock lock(injector_mutex_);
   if (injector_.empty()) {
     return nullptr;
   }
@@ -150,7 +157,9 @@ void Scheduler::wake_one() {
               std::memory_order_seq_cst, std::memory_order_seq_cst)) {
         Worker& sleeper = *worker_state_[w * 64 + bit];
         sleeper.epoch.fetch_add(1, std::memory_order_seq_cst);
-        sleeper.epoch.notify_one();
+        // Atomic eventcount, not a condvar: the waiter waits on the epoch
+        // value itself, so there is no separate waiter object to destroy.
+        sleeper.epoch.notify_one();  // gpsa-lint: allow(locked-notify)
         return;  // wake at most one sleeper per published unit
       }
       // CAS failure reloaded `mask`; retry within this word.
@@ -161,17 +170,22 @@ void Scheduler::wake_one() {
 void Scheduler::stop() {
   if (mode_ == SchedulerMode::kGlobalQueue) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
+      // Notify under the lock (annotation-audit find): the old
+      // unlock-then-notify left the same window the enqueue comment
+      // describes — a concurrent sequential stop()+destruction could
+      // free cv_ between this thread's unlock and its notify.
+      cv_.notify_all();
     }
-    cv_.notify_all();
   } else {
     stop_flag_.store(true, std::memory_order_seq_cst);
     // Wake everyone regardless of the parked bitmap: a worker between its
     // bit-set and its wait sees either the flag or the epoch bump.
     for (auto& worker : worker_state_) {
       worker->epoch.fetch_add(1, std::memory_order_seq_cst);
-      worker->epoch.notify_all();
+      // Atomic eventcount (see wake_one): no condvar lifetime to protect.
+      worker->epoch.notify_all();  // gpsa-lint: allow(locked-notify)
     }
   }
   // Idempotent: a second call finds every worker already joined.
@@ -187,8 +201,13 @@ void Scheduler::worker_loop_global(unsigned index) {
   while (true) {
     Schedulable* unit = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !run_queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop rather than cv_.wait(lock, pred): the
+      // thread-safety analysis checks the guarded reads here, where the
+      // lock is visibly held, instead of inside an opaque lambda.
+      while (!stopping_ && run_queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (stopping_) {
         return;
       }

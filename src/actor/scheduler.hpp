@@ -31,16 +31,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "actor/work_stealing_deque.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gpsa {
 
@@ -81,12 +80,12 @@ class Scheduler {
   /// Makes `unit` runnable. Callable from any thread, including workers.
   /// From a worker thread of this scheduler the unit lands on that
   /// worker's local deque; otherwise it goes through the injector.
-  void enqueue(Schedulable* unit);
+  void enqueue(Schedulable* unit) GPSA_EXCLUDES(mutex_, injector_mutex_);
 
   /// Stops accepting work, drains nothing, joins workers. Callers must
   /// quiesce their actors first (the GPSA manager protocol guarantees all
   /// mailboxes are empty before the engine stops the scheduler).
-  void stop();
+  void stop() GPSA_EXCLUDES(mutex_);
 
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -120,8 +119,8 @@ class Scheduler {
 
   Schedulable* next_unit(Worker& self, unsigned index);
   Schedulable* try_steal(Worker& self, unsigned index);
-  Schedulable* pop_injector();
-  void inject(Schedulable* unit);
+  Schedulable* pop_injector() GPSA_EXCLUDES(injector_mutex_);
+  void inject(Schedulable* unit) GPSA_EXCLUDES(injector_mutex_);
   void wake_one();
   /// Parks until woken. Returns false when the scheduler is stopping.
   bool park(Worker& self, unsigned index);
@@ -132,15 +131,15 @@ class Scheduler {
   std::atomic<std::uint64_t> steals_{0};
 
   // --- kGlobalQueue state -------------------------------------------------
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Schedulable*> run_queue_;
-  bool stopping_ = false;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Schedulable*> run_queue_ GPSA_GUARDED_BY(mutex_);
+  bool stopping_ GPSA_GUARDED_BY(mutex_) = false;
 
   // --- kWorkStealing state ------------------------------------------------
   std::vector<std::unique_ptr<Worker>> worker_state_;
-  std::mutex injector_mutex_;
-  std::deque<Schedulable*> injector_;  // guarded by injector_mutex_
+  Mutex injector_mutex_;
+  std::deque<Schedulable*> injector_ GPSA_GUARDED_BY(injector_mutex_);
   /// Mirror of injector_.size() readable without the lock.
   std::atomic<std::size_t> injector_size_{0};
   /// Units enqueued but not yet claimed by a worker. A worker only sleeps

@@ -73,6 +73,24 @@ class ClusterEngine {
   static Result<ClusterRunResult> run(const EdgeList& graph,
                                       const Program& program,
                                       const ClusterOptions& options);
+
+  /// Validates the per-node value stores a file-backed run left under
+  /// `dir`: every node file present and well-formed, app tags matching
+  /// `expected_app_tag`, and all headers agreeing on the completed
+  /// superstep. Returns that common superstep count. A crash between the
+  /// per-node checkpoint flushes leaves the headers disagreeing — a torn
+  /// cluster state this rejects (the distributed analogue of the
+  /// single-file recovery header check, §IV.G).
+  static Result<std::uint64_t> validate_value_stores(
+      const std::string& dir, unsigned num_nodes,
+      const std::string& expected_app_tag);
 };
+
+/// Test-only crash injection for the end-of-run per-node checkpoint sweep
+/// (the fork-based crash suite): after `flushes` successful node
+/// checkpoints the process _exit()s, leaving the remaining nodes' headers
+/// behind the finished ones. Negative disables (the default). Only ever
+/// set inside a forked child.
+void set_cluster_checkpoint_crash_after_flushes(int flushes);
 
 }  // namespace gpsa

@@ -10,6 +10,13 @@ namespace {
 
 constexpr std::uint32_t kBinaryMagic = 0x47504531;  // "GPE1"
 
+/// Largest vertex id accepted from untrusted inputs, mirroring the
+/// adjacency parser: CSR entries are int32 with -1 reserved as the record
+/// sentinel, and add_edge computes num_vertices = max_id + 1, which wraps
+/// to 0 for id 0xffffffff — both make out-of-range ids corruption, not
+/// data.
+constexpr VertexId kMaxParsedVertexId = (VertexId{1} << 31) - 2;
+
 }  // namespace
 
 void EdgeList::add_edge(VertexId src, VertexId dst) {
@@ -51,14 +58,14 @@ Result<EdgeList> EdgeList::read_text(const std::string& path) {
     VertexId src = 0;
     VertexId dst = 0;
     auto r1 = std::from_chars(p, end, src);
-    if (r1.ec != std::errc()) {
+    if (r1.ec != std::errc() || src > kMaxParsedVertexId) {
       return corrupt_data(path + ":" + std::to_string(line_no) +
                           ": bad source vertex");
     }
     p = r1.ptr;
     while (p != end && (*p == ' ' || *p == '\t' || *p == ',')) ++p;
     auto r2 = std::from_chars(p, end, dst);
-    if (r2.ec != std::errc()) {
+    if (r2.ec != std::errc() || dst > kMaxParsedVertexId) {
       return corrupt_data(path + ":" + std::to_string(line_no) +
                           ": bad destination vertex");
     }
@@ -97,14 +104,33 @@ Result<EdgeList> EdgeList::read_binary(const std::string& path) {
   if (!in || magic != kBinaryMagic) {
     return corrupt_data("EdgeList::read_binary: bad header in " + path);
   }
+  // Size the body from the file, not the header: a corrupt edge count
+  // would otherwise drive a multi-gigabyte resize (or a std::streamsize
+  // overflow) before the read ever fails.
+  const auto body_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(body_begin);
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
+  if (body_begin == std::streampos(-1) || file_end == std::streampos(-1) ||
+      static_cast<std::uint64_t>(file_end - body_begin) !=
+          num_edges * sizeof(Edge)) {
+    return corrupt_data("EdgeList::read_binary: edge count disagrees with "
+                        "file size in " + path);
+  }
   EdgeList out;
   out.num_vertices_ = num_vertices;
   out.edges_.resize(num_edges);
-  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
   in.read(reinterpret_cast<char*>(out.edges_.data()),
           static_cast<std::streamsize>(num_edges * sizeof(Edge)));
   if (!in) {
     return corrupt_data("EdgeList::read_binary: truncated body in " + path);
+  }
+  for (const Edge& e : out.edges_) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return corrupt_data("EdgeList::read_binary: edge endpoint beyond "
+                          "declared vertex count in " + path);
+    }
   }
   return out;
 }

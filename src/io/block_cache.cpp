@@ -1,3 +1,8 @@
+// gpsa-lint: locked-notify — every condition-variable notify in this file
+// must be issued while the guarding Mutex is held. The stream destructor
+// drains on cv_ and destroys it as soon as inflight_ hits zero, and the
+// pool destructor's join races its workers' last wait the same way; an
+// unlocked notify could touch a dead condition variable in either case.
 #include "io/block_cache.hpp"
 
 #include <fcntl.h>
@@ -24,30 +29,32 @@ IoThreadPool::IoThreadPool(unsigned threads) {
 
 IoThreadPool::~IoThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    // Under the lock (annotation-audit find): previously notified after
+    // unlocking, per the file-level locked-notify rationale.
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
   }
 }
 
 void IoThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    GPSA_CHECK(!stopping_);
-    tasks_.push_back(std::move(task));
-  }
-  cv_.notify_one();
+  MutexLock lock(mutex_);
+  GPSA_CHECK(!stopping_);
+  tasks_.push_back(std::move(task));
+  cv_.notify_one();  // under the lock, as above
 }
 
 void IoThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) {
+        cv_.wait(lock);
+      }
       if (tasks_.empty()) {
         return;  // stopping_ with a drained queue
       }
@@ -79,7 +86,7 @@ BlockCacheStream::BlockCacheStream(std::unique_ptr<BlockLoader> loader,
 
 BlockCacheStream::~BlockCacheStream() {
   // Loads in flight capture `this`; drain them before members go away.
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (inflight_ > 0) {
     wait_for_completion_locked(lock);
   }
@@ -98,8 +105,7 @@ void BlockCacheStream::reap_locked() {
   }
 }
 
-void BlockCacheStream::wait_for_completion_locked(
-    std::unique_lock<std::mutex>& lock) {
+void BlockCacheStream::wait_for_completion_locked(MutexLock& lock) {
   GPSA_CHECK(inflight_ > 0);
   if (loader_->inline_completion()) {
     // Inline loaders deliver completions on this thread, from inside
@@ -109,6 +115,21 @@ void BlockCacheStream::wait_for_completion_locked(
   } else {
     cv_.wait(lock);
   }
+}
+
+void BlockCacheStream::finish_load_locked(std::uint64_t block,
+                                          const Status& status) {
+  auto entry = blocks_.find(block);
+  // The entry outlives its load (loading blocks are never evicted, and
+  // the destructor drains before teardown).
+  GPSA_DCHECK(entry != blocks_.end());
+  if (status.is_ok()) {
+    entry->second.state = Entry::State::kReady;
+  } else {
+    entry->second.state = Entry::State::kFailed;
+    last_error_ = status;
+  }
+  --inflight_;
 }
 
 bool BlockCacheStream::take_buffer_locked(std::uint64_t protect_lo,
@@ -163,30 +184,20 @@ void BlockCacheStream::start_load_locked(std::uint64_t block,
   ++inflight_;
   ++counters_.reads_issued;
   const bool inline_done = loader_->inline_completion();
+  // The callback crosses a std::function boundary, which the thread-safety
+  // analysis cannot follow; its two branches are each safe for a reason
+  // the annotations document — the inline branch runs under the stream
+  // lock already held by the poll()/wait() caller, the threaded branch
+  // takes the lock itself.
   loader_->read_async(
       block * block_bytes_, block_length(block), buffers_[buffer].get(),
-      [this, block, inline_done](Status status) {
-        auto apply = [&] {
-          auto entry = blocks_.find(block);
-          // The entry outlives its load (loading blocks are never
-          // evicted, and the destructor drains before teardown).
-          GPSA_DCHECK(entry != blocks_.end());
-          if (status.is_ok()) {
-            entry->second.state = Entry::State::kReady;
-          } else {
-            entry->second.state = Entry::State::kFailed;
-            last_error_ = status;
-          }
-          --inflight_;
-        };
+      [this, block, inline_done](Status status) GPSA_NO_THREAD_SAFETY_ANALYSIS {
         if (inline_done) {
-          apply();  // already under the stream lock (see wait/poll)
+          finish_load_locked(block, status);  // lock held (see wait/poll)
         } else {
-          std::lock_guard<std::mutex> lock(mutex_);
-          apply();
-          // Notify under the lock: the destructor drains on this cv and
-          // destroys it as soon as inflight_ hits zero, so an unlocked
-          // notify could touch a dead condition variable.
+          MutexLock lock(mutex_);
+          finish_load_locked(block, status);
+          // Notify under the lock (file-level locked-notify rationale).
           cv_.notify_all();
         }
       });
@@ -199,7 +210,7 @@ const std::byte* BlockCacheStream::fetch(std::uint64_t offset,
     scratch_.resize(1);
     return scratch_.data();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   reap_locked();
   pinned_lo_ = pinned_hi_ = 0;  // previous fetch's view is now invalid
 
@@ -291,7 +302,7 @@ void BlockCacheStream::will_need(std::uint64_t offset, std::size_t length) {
     return;
   }
   length = std::min<std::size_t>(length, file_size_ - offset);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   reap_locked();
   const std::uint64_t first = offset / block_bytes_;
   const std::uint64_t last = (offset + length - 1) / block_bytes_;
@@ -312,7 +323,7 @@ void BlockCacheStream::will_need(std::uint64_t offset, std::size_t length) {
 }
 
 void BlockCacheStream::drop_behind(std::uint64_t offset) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   reap_locked();
   const std::uint64_t limit = offset / block_bytes_;  // whole blocks only
   for (auto it = blocks_.begin();
@@ -342,12 +353,12 @@ void BlockCacheStream::drop_behind(std::uint64_t offset) {
 }
 
 Status BlockCacheStream::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_error_;
 }
 
 PrefetchCounters BlockCacheStream::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 

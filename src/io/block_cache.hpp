@@ -21,18 +21,17 @@
 // larger than the cache bypass it through BlockLoader::read_sync.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "io/io_backend.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gpsa {
 
@@ -76,16 +75,16 @@ class IoThreadPool {
   IoThreadPool(const IoThreadPool&) = delete;
   IoThreadPool& operator=(const IoThreadPool&) = delete;
 
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) GPSA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() GPSA_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ GPSA_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ GPSA_GUARDED_BY(mutex_) = false;
 };
 
 class BlockCacheStream final : public IoReadStream {
@@ -109,15 +108,20 @@ class BlockCacheStream final : public IoReadStream {
   };
 
   std::size_t block_length(std::uint64_t block) const;
-  void reap_locked();
-  void wait_for_completion_locked(std::unique_lock<std::mutex>& lock);
+  void reap_locked() GPSA_REQUIRES(mutex_);
+  void wait_for_completion_locked(MutexLock& lock) GPSA_REQUIRES(mutex_);
+  /// Applies one finished load to its entry (Loading -> Ready/Failed).
+  void finish_load_locked(std::uint64_t block, const Status& status)
+      GPSA_REQUIRES(mutex_);
   /// Frees a buffer, evicting if necessary. Blocks in [protect_lo,
   /// protect_hi) are never evicted. Returns false when nothing is
   /// evictable right now (caller waits or gives up).
   bool take_buffer_locked(std::uint64_t protect_lo, std::uint64_t protect_hi,
-                          bool allow_evict_ahead, std::size_t* out);
+                          bool allow_evict_ahead, std::size_t* out)
+      GPSA_REQUIRES(mutex_);
   /// Starts loading `block` into a freshly taken buffer.
-  void start_load_locked(std::uint64_t block, std::size_t buffer);
+  void start_load_locked(std::uint64_t block, std::size_t buffer)
+      GPSA_REQUIRES(mutex_);
 
   const std::unique_ptr<BlockLoader> loader_;
   const std::size_t file_size_;
@@ -125,17 +129,25 @@ class BlockCacheStream final : public IoReadStream {
   const std::size_t block_bytes_;
   const std::size_t capacity_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::uint64_t, Entry> blocks_;
+  mutable Mutex mutex_;
+  CondVar cv_;  // signalled (under mutex_) per threaded-load completion
+  std::map<std::uint64_t, Entry> blocks_ GPSA_GUARDED_BY(mutex_);
+  /// Buffer pool; the vector itself is immutable after construction and
+  /// buffer bytes are handed to at most one loader at a time (Loading
+  /// entries are never evicted), so only the index sets below need the
+  /// lock.
   std::vector<std::unique_ptr<std::byte[]>> buffers_;
-  std::vector<std::size_t> free_buffers_;
-  std::vector<std::byte> scratch_;  // cross-block assembly + bypass
-  std::uint64_t pinned_lo_ = 0, pinned_hi_ = 0;  // last fetch's block range
-  std::uint64_t dropped_bytes_below_ = 0;
-  std::size_t inflight_ = 0;
-  Status last_error_;
-  PrefetchCounters counters_;
+  std::vector<std::size_t> free_buffers_ GPSA_GUARDED_BY(mutex_);
+  /// Cross-block assembly + bypass target. Consumer-owned: the stream has
+  /// one consumer, and completion threads never touch it — which is why
+  /// fetch() may legally return scratch_.data() after unlocking.
+  std::vector<std::byte> scratch_;
+  std::uint64_t pinned_lo_ GPSA_GUARDED_BY(mutex_) = 0;  // last fetch's
+  std::uint64_t pinned_hi_ GPSA_GUARDED_BY(mutex_) = 0;  // block range
+  std::uint64_t dropped_bytes_below_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_ GPSA_GUARDED_BY(mutex_) = 0;
+  Status last_error_ GPSA_GUARDED_BY(mutex_);
+  PrefetchCounters counters_ GPSA_GUARDED_BY(mutex_);
 };
 
 }  // namespace gpsa

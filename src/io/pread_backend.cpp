@@ -3,6 +3,11 @@
 // Unlike mmap, a miss costs one syscall + memcpy instead of a page fault
 // storm, the cache bound is explicit (IoConfig::cache_blocks), and
 // drop-behind can actually release page-cache pages via posix_fadvise.
+//
+// Completion model: threaded. Pool threads invoke the block cache's done
+// callbacks, which take the stream lock themselves — the locking half of
+// the BlockLoader::inline_completion contract checked by the thread-
+// safety annotations in io/block_cache.hpp.
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>

@@ -2,7 +2,8 @@
 // IORING_OP_READ SQEs on a per-stream ring driven without liburing (the
 // container ships only <linux/io_uring.h>): setup/enter via raw syscalls,
 // ring memory mapped and accessed through std::atomic_ref with the
-// acquire/release pairing the io_uring ABI requires.
+// acquire/release pairing the io_uring ABI requires (src/io/ is on the
+// gpsa_lint memory-order allowlist for exactly these kernel-shared words).
 //
 // Completion model: inline. The stream is the ring's only driver, so SQE
 // submission and CQE reaping both happen on the consumer thread from

@@ -19,7 +19,7 @@ void CpuMonitor::start() {
     return;  // already running
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     samples_.clear();
   }
   thread_ = std::thread([this] { loop(); });
@@ -31,7 +31,7 @@ CpuMonitor::Report CpuMonitor::stop() {
   }
   Report report;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     report.samples = samples_;
   }
   RunningStat stat;
@@ -48,10 +48,10 @@ CpuMonitor::Report CpuMonitor::stop() {
 void CpuMonitor::loop() {
   CpuUsageProbe probe;
   const auto interval = std::chrono::duration<double>(interval_seconds_);
-  while (running_.load(std::memory_order_relaxed)) {
+  while (running_.load()) {
     std::this_thread::sleep_for(interval);
     const double cores = probe.sample();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     samples_.push_back(cores);
   }
 }

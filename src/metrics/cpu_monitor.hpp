@@ -7,12 +7,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "platform/cpu_stats.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gpsa {
 
@@ -24,7 +24,7 @@ class CpuMonitor {
   CpuMonitor(const CpuMonitor&) = delete;
   CpuMonitor& operator=(const CpuMonitor&) = delete;
 
-  void start();
+  void start() GPSA_EXCLUDES(mutex_);
 
   struct Report {
     std::vector<double> samples;  // cores busy per interval
@@ -34,16 +34,16 @@ class CpuMonitor {
   };
 
   /// Stops sampling and returns the collected series. Idempotent.
-  Report stop();
+  Report stop() GPSA_EXCLUDES(mutex_);
 
  private:
-  void loop();
+  void loop() GPSA_EXCLUDES(mutex_);
 
   const double interval_seconds_;
   std::atomic<bool> running_{false};
   std::thread thread_;
-  std::mutex mutex_;
-  std::vector<double> samples_;
+  Mutex mutex_;
+  std::vector<double> samples_ GPSA_GUARDED_BY(mutex_);
 };
 
 }  // namespace gpsa

@@ -23,6 +23,7 @@
 // column, everything else starts with flag 1.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 
@@ -57,6 +58,35 @@ inline Payload float_to_payload(float value) {
 
 inline float payload_to_float(Payload payload) {
   return std::bit_cast<float>(payload & kPayloadMask);
+}
+
+// --- The two-column slot protocol's only sanctioned atomic accessors. ---
+//
+// Dispatchers and computing actors share slot storage (mmap'd value files
+// and the cluster engine's in-memory columns) with exactly one cross-role
+// overlap: a computing actor reading the dispatch-column payload while the
+// owning dispatcher sets its stale bit. All slot access therefore goes
+// through std::atomic_ref with relaxed ordering — the mailbox handoff
+// provides the happens-before for payloads, so stronger ordering here
+// would buy nothing (DESIGN.md §9).
+//
+// These helpers are the ONE place that constructs atomic_ref over Slot
+// storage; the gpsa-lint `slot-atomic-ref` rule rejects direct
+// construction anywhere else, so the protocol cannot quietly fork.
+
+inline Slot slot_load_relaxed(const Slot& storage) {
+  return std::atomic_ref<const Slot>(storage).load(std::memory_order_relaxed);
+}
+
+inline void slot_store_relaxed(Slot& storage, Slot value) {
+  std::atomic_ref<Slot>(storage).store(value, std::memory_order_relaxed);
+}
+
+/// Sets the stale bit, returning the previous slot (Algorithm 2 line 20's
+/// consume step).
+inline Slot slot_consume_relaxed(Slot& storage) {
+  return std::atomic_ref<Slot>(storage).fetch_or(kSlotStaleBit,
+                                                 std::memory_order_relaxed);
 }
 
 }  // namespace gpsa

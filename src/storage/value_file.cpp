@@ -1,3 +1,6 @@
+// Slot access lives in storage/slot.hpp (the one sanctioned atomic_ref
+// construction site — gpsa_lint rule slot-atomic-ref); this TU only
+// handles file lifecycle, checkpointing, and page-cache advice.
 #include "storage/value_file.hpp"
 
 #include <cstring>

@@ -24,7 +24,6 @@
 // it to locate the immutable column (§IV.G).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -72,21 +71,19 @@ class ValueFile {
     return static_cast<unsigned>((superstep + 1) % 2);
   }
 
-  /// Relaxed-atomic slot accessors (see concurrency note above).
+  /// Relaxed-atomic slot accessors (see concurrency note above); the
+  /// atomic_ref construction itself is centralized in storage/slot.hpp.
   Slot load(VertexId v, unsigned column) const {
-    return std::atomic_ref<const Slot>(slot_at(v, column))
-        .load(std::memory_order_relaxed);
+    return slot_load_relaxed(slot_at(v, column));
   }
   void store(VertexId v, unsigned column, Slot value) {
-    std::atomic_ref<Slot>(slot_at(v, column))
-        .store(value, std::memory_order_relaxed);
+    slot_store_relaxed(slot_at(v, column), value);
   }
 
   /// Sets the stale bit of (v, column), returning the previous slot.
   /// Used by dispatchers to consume a vertex (Algorithm 2 line 20).
   Slot consume(VertexId v, unsigned column) {
-    return std::atomic_ref<Slot>(slot_at(v, column))
-        .fetch_or(kSlotStaleBit, std::memory_order_relaxed);
+    return slot_consume_relaxed(slot_at(v, column));
   }
 
   std::uint64_t completed_supersteps() const {

@@ -2,15 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace gpsa {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
-std::mutex g_sink_mutex;
-LogSink g_sink;  // guarded by g_sink_mutex; empty => default stderr sink
+Mutex g_sink_mutex;
+LogSink g_sink GPSA_GUARDED_BY(g_sink_mutex);  // empty => default stderr sink
 
 std::chrono::steady_clock::time_point start_time() {
   static const auto t0 = std::chrono::steady_clock::now();
@@ -18,7 +19,7 @@ std::chrono::steady_clock::time_point start_time() {
 }
 
 void write_line(LogLevel level, std::string_view line) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, line);
   } else {
@@ -43,12 +44,12 @@ std::string_view log_level_name(LogLevel level) {
   return "?????";
 }
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level); }
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 

@@ -8,6 +8,11 @@
 //
 // Blocking uses an eventcount built on C++20 atomic wait/notify so that
 // producers only pay a notify syscall when a consumer is actually parked.
+//
+// Lock-free substrate: this file is on the gpsa_lint memory-order
+// allowlist (scripts/gpsa_lint.py); explicit orderings here are load-
+// bearing and each carries its own justification below. Code outside the
+// allowlist must use the annotated wrappers in util/thread_annotations.hpp.
 #pragma once
 
 #include <atomic>

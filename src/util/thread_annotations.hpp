@@ -1,0 +1,114 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §10).
+//
+// Every mutex-guarded structure in the concurrency substrate declares its
+// locking contract with these macros and the annotated Mutex / MutexLock /
+// CondVar wrappers below, so `-Wthread-safety -Werror` (the CI
+// static-analysis leg) rejects lock-scope gaps at compile time instead of
+// hoping TSan's schedule happens to expose them. On non-clang compilers
+// the macros expand to nothing and the wrappers degrade to thin aliases
+// over the <mutex>/<condition_variable> primitives they wrap.
+//
+// Conventions (enforced by review + the gpsa-lint locked-notify rule):
+//   - shared fields:            T field_ GPSA_GUARDED_BY(mutex_);
+//   - "call with lock held":    void f() GPSA_REQUIRES(mutex_);
+//   - "must not hold the lock": void f() GPSA_EXCLUDES(mutex_);
+//   - lambdas handed to type-erased callbacks (std::function) escape the
+//     analysis; mark them GPSA_NO_THREAD_SAFETY_ANALYSIS and document the
+//     lock discipline they rely on at the capture site.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define GPSA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPSA_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define GPSA_CAPABILITY(x) GPSA_THREAD_ANNOTATION(capability(x))
+#define GPSA_SCOPED_CAPABILITY GPSA_THREAD_ANNOTATION(scoped_lockable)
+#define GPSA_GUARDED_BY(x) GPSA_THREAD_ANNOTATION(guarded_by(x))
+#define GPSA_PT_GUARDED_BY(x) GPSA_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GPSA_ACQUIRED_BEFORE(...) \
+  GPSA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GPSA_ACQUIRED_AFTER(...) \
+  GPSA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define GPSA_REQUIRES(...) \
+  GPSA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GPSA_ACQUIRE(...) \
+  GPSA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GPSA_RELEASE(...) \
+  GPSA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GPSA_TRY_ACQUIRE(...) \
+  GPSA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GPSA_EXCLUDES(...) GPSA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GPSA_RETURN_CAPABILITY(x) GPSA_THREAD_ANNOTATION(lock_returned(x))
+#define GPSA_NO_THREAD_SAFETY_ANALYSIS \
+  GPSA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gpsa {
+
+class CondVar;
+
+/// std::mutex carrying the `capability` attribute so GPSA_GUARDED_BY /
+/// GPSA_REQUIRES declarations against it are checkable. Prefer MutexLock
+/// for scoped acquisition; lock()/unlock() exist for the rare manual
+/// protocols and stay annotated.
+class GPSA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPSA_ACQUIRE() { mutex_.lock(); }
+  void unlock() GPSA_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GPSA_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII scoped acquisition of a Mutex (std::unique_lock underneath, so
+/// CondVar::wait can release/reacquire it). Mid-scope unlock()/lock() are
+/// annotated for the drop-the-lock-around-blocking-work pattern.
+class GPSA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GPSA_ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+  ~MutexLock() GPSA_RELEASE() {}  // unique_lock releases if still held
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() GPSA_RELEASE() { lock_.unlock(); }
+  void lock() GPSA_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with MutexLock. wait() atomically releases
+/// and reacquires the lock; the analysis cannot see that round trip, so
+/// callers re-check guarded predicates in the canonical
+/// `while (!pred) cv.wait(lock);` shape, which is exactly what the
+/// analysis expects (the capability is held at every guarded access it
+/// can observe). Notifications follow the locked-notify protocol where
+/// the owning file opts in (gpsa-lint rule `locked-notify`).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpsa

@@ -1,0 +1,12 @@
+// Fixture: exactly one check-macro finding (line 7).
+#include <cassert>
+#include <cstddef>
+
+void takes(std::size_t n) {
+  static_assert(sizeof(n) >= 4);  // static_assert is not assert()
+  assert(n > 0);
+}
+
+// my_assert(x) and obj.assert(x) shapes must not fire:
+void my_assert(bool) {}
+void caller() { my_assert(true); }

@@ -1,0 +1,31 @@
+// gpsa-lint: locked-notify
+// Fixture: exactly one locked-notify finding (line 22).
+#include <condition_variable>
+#include <mutex>
+
+struct Waitable {
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+
+  void finish_safely() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    cv_.notify_all();  // under the lock: fine
+  }
+
+  void finish_racily() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();  // after the lock scope closed: finding
+  }
+
+  void unlock_then_notify_suppressed() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_ = true;
+    lock.unlock();
+    cv_.notify_one();  // gpsa-lint: allow(locked-notify)
+  }
+};

@@ -1,0 +1,13 @@
+// Fixture: exactly one memory-order finding (line 7).
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int naked_order() {
+  return counter.load(std::memory_order_acquire);
+}
+
+int default_order_is_fine() { return counter.load(); }
+
+// A mention of std::memory_order_relaxed in a comment must not fire.
+const char* in_a_string = "std::memory_order_relaxed";

@@ -1,0 +1,14 @@
+// Fixture: exactly one raw-io finding (line 6). Lint-only, never compiled.
+#include <sys/mman.h>
+
+void* map_without_raii(int fd, unsigned long size) {
+  // mmap in a comment must not fire; neither must this string: "mmap(".
+  return ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+}
+
+// Member-style calls and prefixed names must not fire:
+void member_calls(Wrapper& w, Wrapper* p) {
+  w.mmap(8);
+  p->mmap(8);
+  my_mmap(8);
+}

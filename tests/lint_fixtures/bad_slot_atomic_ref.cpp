@@ -1,0 +1,14 @@
+// Fixture: exactly one slot-atomic-ref finding (line 9).
+#include <atomic>
+#include <cstdint>
+
+using Slot = std::uint64_t;
+
+Slot decentralized_read(Slot& storage) {
+  // Direct construction bypasses the slot.hpp ordering contract.
+  return std::atomic_ref<Slot>(storage).load(std::memory_order_relaxed);  // gpsa-lint: allow(memory-order)
+}
+
+int atomic_ref_on_other_types_is_fine(int& x) {
+  return std::atomic_ref<int>(x).load();
+}

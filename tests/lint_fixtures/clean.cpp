@@ -1,0 +1,26 @@
+// gpsa-lint: locked-notify
+// Fixture: zero findings — every rule's compliant shape plus one
+// suppressed violation per suppressible rule.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+std::atomic<int> counter{0};
+
+int suppressed_order() {
+  return counter.load(std::memory_order_relaxed);  // gpsa-lint: allow(memory-order)
+}
+
+int plain_order() { return counter.load(); }
+
+struct Waitable {
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+
+  void finish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    cv_.notify_all();
+  }
+};

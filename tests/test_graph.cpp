@@ -3,6 +3,7 @@
 // and interval partitioning.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <numeric>
 
@@ -84,6 +85,60 @@ TEST(EdgeList, BinaryRejectsBadMagic) {
   const char junk[32] = {1, 2, 3};
   ASSERT_TRUE(write_file(path, junk, sizeof(junk)).is_ok());
   EXPECT_FALSE(EdgeList::read_binary(path).is_ok());
+}
+
+TEST(EdgeList, TextParserRejectsOutOfRangeIds) {
+  // 0xffffffff would wrap add_edge's num_vertices computation to 0, and
+  // anything >= 2^31 - 1 is unrepresentable in the int32 CSR entry format
+  // (fuzz_edge_list regression).
+  auto dir = ScratchDir::create("elrange");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("range.txt");
+  for (const char* body : {"4294967295 1\n", "1 4294967295\n",
+                           "2147483647 1\n", "0 2147483647\n"}) {
+    ASSERT_TRUE(write_file(path, body, std::strlen(body)).is_ok());
+    const auto r = EdgeList::read_text(path);
+    EXPECT_FALSE(r.is_ok()) << body;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptData) << body;
+  }
+  // The largest representable id still parses.
+  const char* max_ok = "2147483646 0\n";
+  ASSERT_TRUE(write_file(path, max_ok, std::strlen(max_ok)).is_ok());
+  const auto ok = EdgeList::read_text(path);
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().num_vertices(), 2147483647U);
+}
+
+TEST(EdgeList, BinaryRejectsLyingHeader) {
+  auto dir = ScratchDir::create("ellie");
+  ASSERT_TRUE(dir.is_ok());
+  const std::string path = dir.value().file("g.bin");
+  EdgeList g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ASSERT_TRUE(g.write_binary(path).is_ok());
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes.is_ok());
+
+  // Inflate the edge count: without the file-size check this drives a
+  // huge resize before any read fails (fuzz_edge_list regression).
+  auto inflated = bytes.value();
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  std::memcpy(inflated.data() + 8, &huge, sizeof(huge));
+  ASSERT_TRUE(write_file(path, inflated.data(), inflated.size()).is_ok());
+  auto r = EdgeList::read_binary(path);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+
+  // Shrink the vertex count below the edge endpoints: accepted, this
+  // builds CSRs whose adjacency targets exceed num_vertices.
+  auto shrunk = bytes.value();
+  const std::uint32_t zero_vertices = 0;
+  std::memcpy(shrunk.data() + 4, &zero_vertices, sizeof(zero_vertices));
+  ASSERT_TRUE(write_file(path, shrunk.data(), shrunk.size()).is_ok());
+  r = EdgeList::read_binary(path);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
 }
 
 // --- Csr ---------------------------------------------------------------------

@@ -37,6 +37,7 @@
 #include "graph/csr.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/edge_list.hpp"
+#include "io/block_cache.hpp"
 #include "platform/file_util.hpp"
 #include "storage/recovery.hpp"
 #include "storage/value_file.hpp"
@@ -746,6 +747,44 @@ TEST(SchedulerPark, StormOfSingleWakeupsDrainsInBothModes) {
       std::this_thread::yield();
     }
     system.shutdown();
+  }
+}
+
+TEST(SchedulerPark, GlobalModeStopRacesSleepingWorkers) {
+  // Regression shape for the annotation-audit find in Scheduler::stop():
+  // the global-queue path used to notify_all() *after* unlocking, leaving
+  // a window where a worker could wake on stopping_, return, and let the
+  // scheduler (and its cv_) be destroyed while the stopping thread still
+  // held a reference for the notify. Tight create/stop churn with workers
+  // that have just parked keeps the destruction racing the notify; TSan
+  // flags the use-after-free, and a lost wakeup trips the ctest timeout.
+  constexpr int kRounds = 200 / kScaleDivisor;
+  for (int round = 0; round < kRounds; ++round) {
+    Scheduler scheduler(3, 8, SchedulerMode::kGlobalQueue);
+    // No work enqueued: every worker parks on cv_ almost immediately,
+    // which is the deepest-sleep shape for the stop broadcast.
+    if ((round & 3) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    scheduler.stop();
+  }  // ~Scheduler destroys cv_ right behind stop()'s notify
+}
+
+TEST(SchedulerPark, IoThreadPoolSubmitStormAgainstTeardown) {
+  // Same audit find, I/O flavor: IoThreadPool's destructor and submit()
+  // used to notify outside the lock while the destructor path can free
+  // the pool as soon as the workers observe stopping_. Submit bursts
+  // immediately followed by destruction keep the notify racing teardown.
+  constexpr int kRounds = 100 / kScaleDivisor;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> ran{0};
+    {
+      IoThreadPool pool(2);
+      for (int task = 0; task < 8; ++task) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }  // destructor drains: all submitted tasks ran before it returns
+    ASSERT_EQ(ran.load(std::memory_order_relaxed), 8);
   }
 }
 
