@@ -1,0 +1,183 @@
+// Ablation: the message plane — batch-buffer pooling × destination
+// routing, warm page cache.
+//
+// Four cells on the google stand-in, PageRank (every vertex active every
+// superstep, so the plane carries maximal message traffic):
+//
+//   pool off + mod    the legacy plane: one heap allocation per flushed
+//                     batch, owners interleaved at single-vertex stride
+//                     (every computer writes every value-file cache line);
+//   pool off + range  contiguous ownership alone;
+//   pool on  + mod    buffer recycling alone;
+//   pool on  + range  the full zero-allocation cache-ordered plane
+//                     (the default configuration).
+//
+// The headline metric is *message throughput*: messages dispatched and
+// applied per second of summed superstep wall time. Allocation churn,
+// combiner-map probing, and apply-side cache misses all land inside the
+// superstep clock, so the plane work shows up directly.
+//
+// Set GPSA_BENCH_JSON=<path> to dump all cells;
+// scripts/check_msgplane_ratio.py gates CI on the (pool on + range) /
+// (pool off + mod) ratio and on zero steady-state pool misses.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace gpsa;
+
+struct Cell {
+  bool pool = false;
+  MessageRouting routing = MessageRouting::kMod;
+  double superstep_seconds = 0.0;   // summed over supersteps, best round
+  double apply_busy_seconds = 0.0;  // same round as superstep_seconds
+  std::uint64_t total_messages = 0;  // per round (identical across rounds)
+  double msgs_per_sec = 0.0;         // best over rounds
+  MessagePoolStats pool_stats;       // round the best came from
+  std::vector<double> round_msgs_per_sec;  // every round, in order
+};
+
+}  // namespace
+
+int main() {
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  std::printf("== Ablation: message plane, pool x routing "
+              "(scale %.3g, %u run(s)) ==\n\n",
+              exp.scale, exp.runs);
+
+  const EdgeList graph =
+      generate_paper_graph(PaperGraph::kGoogle, exp.scale, exp.seed);
+  const PageRankProgram pagerank(5);
+
+  TextTable table({"pool", "routing", "superstep (s)", "apply busy (s)",
+                   "messages", "Mmsg/s", "pool hits", "steady misses"});
+  std::vector<Cell> cells;
+  for (const bool pool : {false, true}) {
+    for (const MessageRouting routing :
+         {MessageRouting::kMod, MessageRouting::kRange}) {
+      Cell cell;
+      cell.pool = pool;
+      cell.routing = routing;
+      cells.push_back(cell);
+    }
+  }
+  // Rounds interleave the cells and each cell keeps its best round: on a
+  // shared machine a slow patch then skews every configuration equally
+  // instead of sinking whichever cell it happened to land on.
+  bool ok = true;
+  for (unsigned r = 0; r < exp.runs; ++r) {
+    for (Cell& cell : cells) {
+      EngineOptions eo;
+      // Enough computers that mod routing's interleaved writes genuinely
+      // shear value-column cache lines; pinned (not env-derived) so the
+      // sweep is self-describing.
+      eo.num_dispatchers = 2;
+      eo.num_computers = 4;
+      eo.max_supersteps = 5;
+      eo.message_pool = cell.pool;
+      eo.routing = cell.routing;
+      if (const char* b = std::getenv("GPSA_BENCH_BATCH")) {
+        eo.message_batch = static_cast<std::size_t>(std::atoi(b));
+      }
+      auto result = Engine::run(graph, pagerank, eo);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        ok = false;
+        continue;
+      }
+      double superstep_seconds = 0.0;
+      double apply_busy = 0.0;
+      for (const double s : result.value().superstep_seconds) {
+        superstep_seconds += s;
+      }
+      for (const double b : result.value().computer_busy_seconds) {
+        apply_busy += b;
+      }
+      const double msgs_per_sec =
+          superstep_seconds > 0
+              ? static_cast<double>(result.value().total_messages) /
+                    superstep_seconds
+              : 0.0;
+      cell.total_messages = result.value().total_messages;
+      cell.round_msgs_per_sec.push_back(msgs_per_sec);
+      if (msgs_per_sec > cell.msgs_per_sec) {
+        cell.msgs_per_sec = msgs_per_sec;
+        cell.superstep_seconds = superstep_seconds;
+        cell.apply_busy_seconds = apply_busy;
+        cell.pool_stats = result.value().pool;
+      }
+      if (std::getenv("GPSA_BENCH_DEBUG")) {
+        std::printf("[debug] round %u pool=%d routing=%s disp busy:", r,
+                    cell.pool, message_routing_name(cell.routing));
+        for (double b : result.value().dispatcher_busy_seconds)
+          std::printf(" %.4f", b);
+        std::printf("  comp busy:");
+        for (double b : result.value().computer_busy_seconds)
+          std::printf(" %.4f", b);
+        std::printf("  supersteps total: %.4f\n", superstep_seconds);
+      }
+    }
+  }
+  for (const Cell& cell : cells) {
+    table.add_row({cell.pool ? "on" : "off",
+                   message_routing_name(cell.routing),
+                   TextTable::num(cell.superstep_seconds, 4),
+                   TextTable::num(cell.apply_busy_seconds, 4),
+                   std::to_string(cell.total_messages),
+                   TextTable::num(cell.msgs_per_sec / 1e6, 2),
+                   std::to_string(cell.pool_stats.hits),
+                   std::to_string(cell.pool_stats.steady_misses)});
+  }
+  table.print();
+  std::printf("\nMmsg/s = total messages / summed superstep seconds; "
+              "allocation churn and apply-side cache misses both land in "
+              "the superstep clock.\n");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_message_plane");
+  json.key("scale").value(exp.scale);
+  json.key("runs").value(exp.runs);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    json.key("pool").value(cell.pool ? "on" : "off");
+    json.key("routing").value(message_routing_name(cell.routing));
+    json.key("superstep_seconds").value(cell.superstep_seconds);
+    json.key("apply_busy_seconds").value(cell.apply_busy_seconds);
+    json.key("total_messages").value(cell.total_messages);
+    json.key("msgs_per_sec").value(cell.msgs_per_sec);
+    // Per-round samples, in round order: the gate script pairs cells
+    // round-by-round (the rounds interleave the cells, so machine-wide
+    // slow patches cancel out of a within-round ratio).
+    json.key("round_msgs_per_sec").begin_array();
+    for (const double m : cell.round_msgs_per_sec) {
+      json.value(m);
+    }
+    json.end_array();
+    json.key("pool_leases").value(cell.pool_stats.leases);
+    json.key("pool_hits").value(cell.pool_stats.hits);
+    json.key("pool_misses").value(cell.pool_stats.misses);
+    json.key("pool_steady_misses").value(cell.pool_stats.steady_misses);
+    json.key("pool_recycled_bytes").value(cell.pool_stats.recycled_bytes);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const Status json_status = write_bench_json(json);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.to_string().c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

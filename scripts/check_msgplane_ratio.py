@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate on the message-plane ablation: the full plane (batch pooling +
+range routing) must beat the legacy plane (allocate-per-flush + mod
+routing) on message throughput by the given factor, and the default
+(pool on + range) cell must report zero steady-state pool misses — the
+pool's contract is that supersteps after warm-up allocate nothing.
+
+The ratio is computed per round and the best round wins: the bench
+interleaves the cells inside each round, so a machine-wide slow patch
+lands on every cell of that round and cancels out of the within-round
+ratio, where it would skew a best-round-vs-best-round comparison taken
+across different rounds. A real regression lowers every round's ratio,
+so the gate still catches it.
+
+The pooled+mod cell is allowed steady misses: mod routing interleaves
+owners at single-vertex stride, so one computer can fall behind and
+strand buffers in its mailbox, draining the pool — that backlog is part
+of what the default configuration fixes.
+
+Usage: check_msgplane_ratio.py <bench_ablation_message_plane.json>
+       <min_ratio>
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    min_ratio = float(sys.argv[2])
+
+    by_config = {}
+    for cell in report["cells"]:
+        by_config[(cell["pool"], cell["routing"])] = cell
+        if cell["pool"] == "on":
+            print(f"  pool=on routing={cell['routing']}: "
+                  f"{cell['pool_hits']} hits, {cell['pool_misses']} misses, "
+                  f"{cell['pool_steady_misses']} steady misses")
+
+    baseline = by_config.get(("off", "mod"))
+    full = by_config.get(("on", "range"))
+    if baseline is None or full is None:
+        print("missing baseline (off,mod) or full (on,range) cell in report",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    steady = full["pool_steady_misses"]
+    if steady != 0:
+        print(f"FAIL: the default (on,range) cell allocated {steady} "
+              f"time(s) after warm-up", file=sys.stderr)
+        failed = True
+
+    base_rounds = baseline.get("round_msgs_per_sec") or []
+    full_rounds = full.get("round_msgs_per_sec") or []
+    paired = [(f, b) for f, b in zip(full_rounds, base_rounds) if b > 0]
+    if paired:
+        ratios = [f / b for f, b in paired]
+        best = max(range(len(ratios)), key=lambda i: ratios[i])
+        ratio = ratios[best]
+        print("  per-round pooled+range / unpooled+mod: "
+              + " ".join(f"{r:.3f}" for r in ratios))
+        print(f"message plane best within-round ratio = "
+              f"{paired[best][0] / 1e6:.2f}/{paired[best][1] / 1e6:.2f}"
+              f" Mmsg/s = {ratio:.3f} (need >= {min_ratio})")
+    elif baseline["msgs_per_sec"] > 0:
+        # Older reports without per-round samples: best-vs-best fallback.
+        ratio = full["msgs_per_sec"] / baseline["msgs_per_sec"]
+        print(f"message plane pooled+range / unpooled+mod = "
+              f"{full['msgs_per_sec'] / 1e6:.2f}/"
+              f"{baseline['msgs_per_sec'] / 1e6:.2f}"
+              f" Mmsg/s = {ratio:.3f} (need >= {min_ratio})")
+    else:
+        print("baseline throughput is zero; cannot compute ratio",
+              file=sys.stderr)
+        return 1
+    if ratio < min_ratio:
+        print("FAIL: the zero-allocation plane did not clear the required "
+              "throughput ratio", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

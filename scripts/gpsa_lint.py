@@ -23,6 +23,13 @@ express and clang-tidy does not know about:
   raw-io           raw mmap/munmap/pread/pwrite/madvise/posix_fadvise
                    outside src/platform/ and src/io/, where the RAII
                    wrappers and error-status plumbing live.
+  msg-buffer-alloc sized allocation (reserve/resize/sized construction)
+                   of std::vector<VertexMessage> batch buffers outside
+                   src/core/message_pool.*. Batch capacity must come from
+                   MessageBatchPool::lease()/recycle() so steady-state
+                   supersteps stay zero-allocation (DESIGN.md §11).
+                   Declared buffer names are collected from the file and,
+                   for a .cpp, its same-stem .hpp.
 
 Suppression: append `// gpsa-lint: allow(<rule>)` to the offending line.
 
@@ -68,8 +75,14 @@ RAW_IO_ALLOWED = (
     "src/io/",
 )
 
+# The pool is the one sanctioned VertexMessage buffer allocation site.
+MSG_BUFFER_ALLOC_ALLOWED = (
+    "src/core/message_pool.hpp",
+    "src/core/message_pool.cpp",
+)
+
 RULES = ("memory-order", "slot-atomic-ref", "locked-notify", "check-macro",
-         "raw-io")
+         "raw-io", "msg-buffer-alloc")
 
 MARKER_RE = re.compile(r"//\s*gpsa-lint:\s*locked-notify\b")
 ALLOW_RE = re.compile(r"//\s*gpsa-lint:\s*allow\(([a-z-]+)\)")
@@ -79,6 +92,17 @@ SLOT_ATOMIC_REF_RE = re.compile(r"\bstd::atomic_ref<[^<>;(){}]*\bSlot\b")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 RAW_IO_RE = re.compile(
     r"(?<![\w.>])(mmap|munmap|pread|pwrite|madvise|posix_fadvise)\s*\(")
+
+# Declarations of VertexMessage batch buffers (plain, nested-in-vector,
+# reference, rvalue-reference, pointer): captures the declared name.
+MSG_VEC_NAME_RE = re.compile(
+    r"vector<\s*(?:std::vector<\s*)?(?:gpsa::)?VertexMessage\s*>\s*>?\s*"
+    r"(?:&&?|\*)?\s*(\w+)")
+# Direct sized construction of a batch buffer (named or temporary).
+# `()` / `{}` empty construction and function declarations don't match:
+# the first character inside the parens must be a real argument.
+MSG_VEC_SIZED_CTOR_RE = re.compile(
+    r"vector<\s*(?:gpsa::)?VertexMessage\s*>\s*(?:\w+\s*)?[({]\s*[^)}\s]")
 
 LOCK_DECL_RE = re.compile(
     r"\b(?:gpsa::)?(?:MutexLock|std::lock_guard<[^;{}]*?>"
@@ -217,6 +241,43 @@ def check_locked_notify(stripped: str):
                        "between your unlock and this notify")
 
 
+def msg_buffer_names(path: Path, stripped: str) -> set[str]:
+    """Names declared as std::vector<VertexMessage> (or a vector of them)
+    in this file and, for a .cpp, in its same-stem .hpp — so member
+    buffers declared in the header are recognized in the implementation
+    file."""
+    names = {m.group(1) for m in MSG_VEC_NAME_RE.finditer(stripped)}
+    if path.suffix == ".cpp":
+        header = path.with_suffix(".hpp")
+        if header.is_file():
+            try:
+                header_text = header.read_text(encoding="utf-8",
+                                               errors="replace")
+            except OSError:
+                return names
+            header_stripped = strip_comments_and_strings(header_text)
+            names |= {m.group(1)
+                      for m in MSG_VEC_NAME_RE.finditer(header_stripped)}
+    return names
+
+
+def check_msg_buffer_alloc(path: Path, stripped: str):
+    """Yields (line, message) for sized VertexMessage-buffer allocation."""
+    message = ("sized allocation of a VertexMessage batch buffer outside "
+               "MessageBatchPool; lease()/recycle() through the pool "
+               "(src/core/message_pool.hpp) so steady-state supersteps "
+               "stay zero-allocation")
+    names = msg_buffer_names(path, stripped)
+    if names:
+        use_re = re.compile(
+            r"\b(?:" + "|".join(sorted(re.escape(n) for n in names)) +
+            r")\.(?:reserve|resize)\s*\(")
+        for m in use_re.finditer(stripped):
+            yield line_of(stripped, m.start()), message
+    for m in MSG_VEC_SIZED_CTOR_RE.finditer(stripped):
+        yield line_of(stripped, m.start()), message
+
+
 def lint_file(path: Path, rel: str):
     """Yields finding dicts for one file."""
     try:
@@ -272,6 +333,13 @@ def lint_file(path: Path, rel: str):
                 f"raw {m.group(1)}() outside src/platform/ and src/io/; "
                 "go through MmapFile / the io backends so errors carry "
                 "Status and mappings are RAII-owned")
+
+    if not path_exempt(rel, MSG_BUFFER_ALLOC_ALLOWED):
+        seen = set()
+        for line, message in check_msg_buffer_alloc(path, stripped):
+            if line not in seen:  # name + ctor rules can overlap on a line
+                seen.add(line)
+                yield from emit("msg-buffer-alloc", line, message)
 
 
 def collect_files(root: Path, compile_commands: Path | None,

@@ -16,6 +16,14 @@
 // scheduler worker (the dominant case: dispatcher -> computer sends),
 // the wakeup lands on that worker's own lock-free deque, so the mailbox
 // notify path crosses no lock and no syscall.
+//
+// Mailbox buffer-reuse contract (DESIGN.md §11): a queued message may own
+// a buffer leased from a shared pool (ComputerMsg::batch and the
+// MessageBatchPool). The mailbox itself imposes nothing on such payloads
+// beyond ordinary move/destroy semantics, so pooled buffers are safe under
+// both normal delivery (the receiver recycles them) and teardown (the
+// destructor frees them) — provided the pool outlives the actor, which
+// the engine guarantees by declaring the pool before the ActorSystem.
 #pragma once
 
 #include <atomic>

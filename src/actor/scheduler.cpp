@@ -45,6 +45,9 @@ constexpr std::uint64_t kFairnessTick = 61;
 /// Per steal episode, at most this many extra units migrate (besides the
 /// one returned for immediate execution).
 constexpr std::size_t kMaxStealBatch = 16;
+/// Victims shallower than this give up exactly one unit per steal —
+/// batching a 2-3 deep backlog just bounces tasks between thieves.
+constexpr std::size_t kStealBatchMinDepth = 4;
 
 }  // namespace
 
@@ -278,7 +281,9 @@ Schedulable* Scheduler::try_steal(Worker& self, unsigned index) {
   }
   // Two sweeps over the victims in random rotation: one transient CAS
   // failure (empty-steal ABA window) should not send us to sleep while a
-  // victim still has a backlog.
+  // victim still has a backlog. Sweep 0 is depth-selective — it passes
+  // over shallow victims so thieves gravitate to the deepest backlogs
+  // first; sweep 1 takes anything (work conservation).
   for (int sweep = 0; sweep < 2; ++sweep) {
     const unsigned start =
         static_cast<unsigned>(next_random(self.rng_state) % n);
@@ -288,28 +293,40 @@ Schedulable* Scheduler::try_steal(Worker& self, unsigned index) {
         continue;
       }
       WorkStealingDeque<Schedulable*>& victim = worker_state_[v]->deque;
+      const std::size_t depth = victim.approx_size();
+      if (sweep == 0 && depth < 2) {
+        continue;  // also skips the empty-deque CAS attempt entirely
+      }
       auto first = victim.steal();
       if (!first) {
         continue;
       }
       steals_.fetch_add(1, std::memory_order_relaxed);
-      // Steal-half: migrate up to half of the victim's remaining backlog
-      // into our deque, one proven single-unit CAS at a time (a batched
-      // top_ CAS over a range can race the owner's non-CAS pop path).
-      std::size_t want = victim.approx_size() / 2;
-      want = want < kMaxStealBatch ? want : kMaxStealBatch;
+      // Batch-aware steal sizing: migrate up to half of the victim's
+      // remaining backlog, but only when the backlog is deep enough that
+      // the batch won't immediately ping-pong back. On small graphs most
+      // deques hold one or two units; batching those just re-steals the
+      // same task back and forth (ROADMAP: "steal churn on small
+      // graphs"), so shallow victims give up exactly one unit. Each
+      // extra moves via a proven single-unit CAS (a batched top_ CAS
+      // over a range can race the owner's non-CAS pop path).
       std::size_t moved = 0;
-      while (moved < want) {
-        auto extra = victim.steal();
-        if (!extra) {
-          break;
+      if (depth >= kStealBatchMinDepth) {
+        std::size_t want = depth / 2;
+        want = want < kMaxStealBatch ? want : kMaxStealBatch;
+        while (moved < want) {
+          auto extra = victim.steal();
+          if (!extra) {
+            break;
+          }
+          if (!self.deque.push(*extra)) {
+            inject(*extra);
+          }
+          ++moved;
         }
-        if (!self.deque.push(*extra)) {
-          inject(*extra);
-        }
-        ++moved;
       }
       if (moved > 0) {
+        steal_extras_.fetch_add(moved, std::memory_order_relaxed);
         wake_one();  // we hold a surplus now; let a sleeper steal from us
       }
       return *first;

@@ -101,6 +101,12 @@ class Scheduler {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Extra units migrated beyond the first steal of each episode
+  /// (batch-aware steal sizing: zero when every victim stayed shallow).
+  std::uint64_t steal_extras_migrated() const {
+    return steal_extras_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-worker scheduling state. Only `deque` and `epoch` are shared;
   /// `tick` and `rng_state` are owner-private.
@@ -129,6 +135,7 @@ class Scheduler {
   const SchedulerMode mode_;
   std::atomic<std::uint64_t> slices_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_extras_{0};
 
   // --- kGlobalQueue state -------------------------------------------------
   Mutex mutex_;

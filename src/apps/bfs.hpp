@@ -33,6 +33,8 @@ class BfsProgram final : public Program {
     return value >= kPayloadInfinity - 1 ? kPayloadInfinity : value + 1;
   }
 
+  bool uniform_gen_msg() const override { return true; }
+
   Payload first_update(VertexId /*v*/, Payload stored) const override {
     return stored;
   }

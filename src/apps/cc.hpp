@@ -27,6 +27,8 @@ class ConnectedComponentsProgram final : public Program {
     return value;
   }
 
+  bool uniform_gen_msg() const override { return true; }
+
   Payload first_update(VertexId /*v*/, Payload stored) const override {
     return stored;
   }

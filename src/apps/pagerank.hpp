@@ -43,6 +43,8 @@ class PageRankProgram final : public Program {
     return float_to_payload(share);
   }
 
+  bool uniform_gen_msg() const override { return true; }
+
   Payload first_update(VertexId /*v*/, Payload /*stored*/) const override {
     // Teleport term; the old rank does not carry over in push PageRank.
     return float_to_payload(teleport_);

@@ -10,7 +10,9 @@
 #include <optional>
 
 #include "actor/actor_system.hpp"
+#include "core/message_pool.hpp"
 #include "core/messages.hpp"
+#include "core/ownership.hpp"
 #include "graph/csr.hpp"
 #include "storage/slot.hpp"
 #include "storage/value_file.hpp"
@@ -97,30 +99,17 @@ struct NodeState {
 class ClusterManager;
 class ClusterComputer;
 
-/// Routes a destination vertex to its owning node.
-class Topology {
- public:
-  explicit Topology(std::vector<VertexId> boundaries)
-      : boundaries_(std::move(boundaries)) {}
-
-  unsigned node_of(VertexId v) const {
-    const auto it =
-        std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
-    return static_cast<unsigned>(it - boundaries_.begin() - 1);
-  }
-  unsigned num_nodes() const {
-    return static_cast<unsigned>(boundaries_.size() - 1);
-  }
-
- private:
-  std::vector<VertexId> boundaries_;
-};
+// Node placement is the engine's OwnerMap in range mode
+// (core/ownership.hpp) — the same contiguous-slice map the
+// single-machine message plane routes with, here doubling as the
+// per-node store layout (each node's value store covers exactly its
+// owner slice, indexed by OwnerMap::local_index).
 
 class ClusterComputer final : public Actor<ComputerMsg> {
  public:
-  ClusterComputer(std::uint32_t node, NodeState& state,
-                  const Program& program)
-      : node_(node), state_(state), program_(program) {}
+  ClusterComputer(std::uint32_t node, NodeState& state, const Program& program,
+                  MessageBatchPool& pool)
+      : node_(node), state_(state), program_(program), pool_(pool) {}
 
   void connect(ClusterManager* manager) { manager_ = manager; }
 
@@ -135,6 +124,7 @@ class ClusterComputer final : public Actor<ComputerMsg> {
   const std::uint32_t node_;
   NodeState& state_;
   const Program& program_;
+  MessageBatchPool& pool_;
   ClusterManager* manager_ = nullptr;
   std::uint64_t updates_this_superstep_ = 0;
   std::uint64_t received_total_ = 0;
@@ -143,20 +133,26 @@ class ClusterComputer final : public Actor<ComputerMsg> {
 class ClusterDispatcher final : public Actor<DispatcherMsg> {
  public:
   ClusterDispatcher(std::uint32_t node, NodeState& state, const Csr& graph,
-                    const Program& program, const Topology& topology,
-                    std::size_t batch_size)
+                    const Program& program, const OwnerMap& owners,
+                    MessageBatchPool& pool, std::size_t batch_size)
       : node_(node),
         state_(state),
         graph_(graph),
         program_(program),
-        topology_(topology),
+        owners_(owners),
+        pool_(pool),
         batch_size_(batch_size) {}
 
   void connect(std::vector<ClusterComputer*> computers,
                ClusterManager* manager) {
     computers_ = std::move(computers);
     manager_ = manager;
-    staging_.resize(computers_.size());
+    // One-time setup of the empty per-node staging slots; the element
+    // buffers circulate through the pool.
+    staging_.resize(computers_.size());  // gpsa-lint: allow(msg-buffer-alloc)
+    for (auto& buffer : staging_) {
+      buffer = pool_.lease();
+    }
   }
 
   std::uint64_t sent_total() const { return sent_total_; }
@@ -174,7 +170,8 @@ class ClusterDispatcher final : public Actor<DispatcherMsg> {
   NodeState& state_;
   const Csr& graph_;
   const Program& program_;
-  const Topology& topology_;
+  const OwnerMap& owners_;
+  MessageBatchPool& pool_;
   const std::size_t batch_size_;
   std::vector<ClusterComputer*> computers_;
   ClusterManager* manager_ = nullptr;
@@ -292,6 +289,7 @@ void ClusterComputer::on_message(ComputerMsg msg) {
         apply(m, msg.superstep);
       }
       received_total_ += msg.batch.size();
+      pool_.recycle(std::move(msg.batch));
       break;
     case ComputerMsg::Kind::kComputeOver: {
       ManagerMsg ack;
@@ -356,7 +354,7 @@ void ClusterDispatcher::run_iteration(std::uint64_t superstep) {
     const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
     for (VertexId dst : graph_.neighbors(v)) {
       const Payload message = program_.gen_msg(v, dst, value, degree);
-      const unsigned owner = topology_.node_of(dst);
+      const unsigned owner = owners_.owner_of(dst);
       staging_[owner].push_back(VertexMessage{dst, message});
       ++messages_this_superstep_;
       if (owner != node_) {
@@ -392,7 +390,7 @@ void ClusterDispatcher::flush(std::size_t node, std::uint64_t superstep) {
   msg.kind = ComputerMsg::Kind::kBatch;
   msg.superstep = superstep;
   msg.batch = std::move(buffer);
-  buffer = {};
+  buffer = pool_.lease();
   computers_[node]->send(std::move(msg));
 }
 
@@ -432,14 +430,10 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
   const auto intervals = make_intervals_from_degrees(
       degrees, options.num_nodes, options.partition);
   GPSA_CHECK(!intervals.empty());
-  std::vector<VertexId> boundaries;
-  boundaries.reserve(intervals.size() + 1);
-  for (const Interval& iv : intervals) {
-    boundaries.push_back(iv.begin_vertex);
-  }
-  boundaries.push_back(n);
-  const Topology topology(std::move(boundaries));
-  const unsigned nodes = topology.num_nodes();
+  const OwnerMap owners = OwnerMap::make_range_from_intervals(intervals);
+  const unsigned nodes = owners.parts();
+  // Outlives the ActorSystem (message_pool.hpp lifetime note).
+  MessageBatchPool pool(options.message_batch);
 
   std::unique_ptr<IoBackend> backend;
   if (!options.value_store_dir.empty()) {
@@ -482,13 +476,13 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
   dispatchers.reserve(nodes);
   for (unsigned node = 0; node < nodes; ++node) {
     computers.push_back(system.spawn<ClusterComputer>(
-        node, std::ref(states[node]), std::cref(program)));
+        node, std::ref(states[node]), std::cref(program), std::ref(pool)));
   }
   auto* manager = system.spawn<ClusterManager>(budget);
   for (unsigned node = 0; node < nodes; ++node) {
     dispatchers.push_back(system.spawn<ClusterDispatcher>(
         node, std::ref(states[node]), std::cref(csr), std::cref(program),
-        std::cref(topology), options.message_batch));
+        std::cref(owners), std::ref(pool), options.message_batch));
     dispatchers.back()->connect(computers, manager);
     computers[node]->connect(manager);
   }

@@ -34,7 +34,9 @@ struct ClusterOptions {
   PartitionStrategy partition = PartitionStrategy::kBalancedEdges;
   /// Scheduler worker threads backing the whole simulated cluster.
   unsigned scheduler_workers = 0;  // 0 = default
-  std::size_t message_batch = 1024;
+  /// VertexMessages per inter-node batch (matches
+  /// EngineOptions::message_batch; see the rationale there).
+  std::size_t message_batch = 4096;
   std::uint64_t max_supersteps = 0;  // 0 = program/quiescence only
   /// Modeled interconnect for the network-time estimate.
   double net_bandwidth_mbps = 1000.0;  // ~gigabit

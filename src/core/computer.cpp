@@ -2,16 +2,19 @@
 
 #include "core/manager.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace gpsa {
 
 ComputerActor::ComputerActor(std::uint32_t id, ValueFile& values,
                              const Program& program,
-                             std::vector<std::uint8_t>& latest_column)
+                             std::vector<std::uint8_t>& latest_column,
+                             MessageBatchPool& pool)
     : id_(id),
       values_(values),
       program_(program),
-      latest_column_(latest_column) {}
+      latest_column_(latest_column),
+      pool_(pool) {}
 
 void ComputerActor::connect(ManagerActor* manager) {
   GPSA_CHECK(manager != nullptr);
@@ -22,9 +25,14 @@ void ComputerActor::on_message(ComputerMsg msg) {
   switch (msg.kind) {
     case ComputerMsg::Kind::kBatch:
       try {
+        const ScopedAccumulator busy(busy_seconds_);
+        const unsigned update_col = ValueFile::update_column(msg.superstep);
         for (const VertexMessage& m : msg.batch) {
-          apply(m, msg.superstep);
+          apply(m, update_col);
         }
+        // Drained: the leased buffer re-enters circulation for the next
+        // dispatcher flush (the zero-allocation loop).
+        pool_.recycle(std::move(msg.batch));
       } catch (const std::exception& e) {
         // A user compute/first_update hook threw: report instead of
         // wedging the superstep barrier (§V.C exception handling).
@@ -53,9 +61,8 @@ void ComputerActor::on_message(ComputerMsg msg) {
 }
 
 void ComputerActor::apply(const VertexMessage& message,
-                          std::uint64_t superstep) {
+                          unsigned update_col) {
   const VertexId v = message.dst;
-  const unsigned update_col = ValueFile::update_column(superstep);
   const Slot current = values_.load(v, update_col);
 
   if (slot_is_stale(current)) {

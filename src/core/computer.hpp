@@ -11,6 +11,14 @@
 // set — the paper's "negative value" write — keeping the update column's
 // payload fresh.
 //
+// Message-plane contract (DESIGN.md §11): under range routing this actor
+// owns one contiguous vertex slice, so its value-file and latest-column
+// writes never share a cache line with another computer, and batches
+// arrive radix-staged in ascending-dst order — the apply loop walks the
+// slice near-sequentially. Drained batch buffers are recycled into the
+// engine's MessageBatchPool, closing the zero-allocation loop with the
+// dispatchers' leases.
+//
 // COMPUTE_OVER (sent by the manager only after every dispatcher finished,
 // hence after every batch of the superstep is already enqueued) is acked
 // back with the number of vertices this actor updated.
@@ -19,6 +27,7 @@
 #include <cstdint>
 
 #include "actor/actor.hpp"
+#include "core/message_pool.hpp"
 #include "core/messages.hpp"
 #include "core/program.hpp"
 #include "storage/value_file.hpp"
@@ -30,7 +39,8 @@ class ManagerActor;
 class ComputerActor final : public Actor<ComputerMsg> {
  public:
   ComputerActor(std::uint32_t id, ValueFile& values, const Program& program,
-                std::vector<std::uint8_t>& latest_column);
+                std::vector<std::uint8_t>& latest_column,
+                MessageBatchPool& pool);
 
   void connect(ManagerActor* manager);
 
@@ -40,11 +50,15 @@ class ComputerActor final : public Actor<ComputerMsg> {
   /// non-updates — the "negative value" copy).
   std::uint64_t touches_total() const { return touches_total_; }
 
+  /// Wall time spent applying batches (the compute-side complement of
+  /// DispatcherActor::busy_seconds for the message-plane bench).
+  double busy_seconds() const { return busy_seconds_; }
+
  protected:
   void on_message(ComputerMsg msg) override;
 
  private:
-  void apply(const VertexMessage& message, std::uint64_t superstep);
+  void apply(const VertexMessage& message, unsigned update_col);
 
   const std::uint32_t id_;
   ValueFile& values_;
@@ -52,11 +66,13 @@ class ComputerActor final : public Actor<ComputerMsg> {
   /// Which column holds vertex v's freshest payload. Shared array, but
   /// entry v is only ever written by the computer owning v.
   std::vector<std::uint8_t>& latest_column_;
+  MessageBatchPool& pool_;
 
   ManagerActor* manager_ = nullptr;
   std::uint64_t updates_this_superstep_ = 0;
   std::uint64_t updates_total_ = 0;
   std::uint64_t touches_total_ = 0;
+  double busy_seconds_ = 0.0;
 };
 
 }  // namespace gpsa

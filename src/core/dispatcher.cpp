@@ -1,5 +1,7 @@
 #include "core/dispatcher.hpp"
 
+#include <algorithm>
+
 #include "core/computer.hpp"
 #include "core/manager.hpp"
 #include "util/check.hpp"
@@ -12,6 +14,8 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
                                  CsrEntryStream& stream,
                                  ReadaheadScheduler& readahead,
                                  ValueFile& values, const Program& program,
+                                 const OwnerMap& owners,
+                                 MessageBatchPool& pool,
                                  std::size_t batch_size, Behavior behavior)
     : id_(id),
       interval_(interval),
@@ -20,6 +24,8 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
       readahead_(readahead),
       values_(values),
       program_(program),
+      owners_(owners),
+      pool_(pool),
       batch_size_(batch_size),
       behavior_(behavior) {
   GPSA_CHECK(batch_size_ > 0);
@@ -28,15 +34,44 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
 void DispatcherActor::connect(std::vector<ComputerActor*> computers,
                               ManagerActor* manager) {
   GPSA_CHECK(!computers.empty() && manager != nullptr);
+  GPSA_CHECK(computers.size() == owners_.parts());
   computers_ = std::move(computers);
   manager_ = manager;
-  staging_.resize(computers_.size());
-  for (auto& buffer : staging_) {
-    buffer.reserve(batch_size_);
+  range_staging_ = owners_.routing() == MessageRouting::kRange;
+  // One-time setup: the outer per-owner vectors of empty staging slots.
+  // Under mod routing the element buffers come from the pool; under range
+  // routing the bin vectors grow to their working set during warm-up and
+  // keep that capacity for the rest of the run.
+  staging_.resize(computers_.size());  // gpsa-lint: allow(msg-buffer-alloc)
+  if (range_staging_) {
+    bins_.resize(  // gpsa-lint: allow(msg-buffer-alloc)
+        computers_.size() * kRadixBins);
+    staged_count_.assign(computers_.size(), 0);
+  } else {
+    for (auto& buffer : staging_) {
+      buffer = pool_.lease();
+    }
   }
+  radix_shift_.assign(computers_.size(), 0);
+  for (std::size_t owner = 0; owner < computers_.size(); ++owner) {
+    const VertexId local =
+        owners_.local_size(static_cast<unsigned>(owner));
+    unsigned shift = 0;
+    while (local > 0 &&
+           (static_cast<std::uint64_t>(local - 1) >> shift) >= kRadixBins) {
+      ++shift;
+    }
+    radix_shift_[owner] = shift;
+  }
+  uniform_message_ = program_.uniform_gen_msg();
   combining_ = behavior_.combine && program_.has_combiner();
   if (combining_) {
-    combine_index_.resize(computers_.size());
+    combine_slots_.resize(computers_.size());
+    combine_gen_.assign(computers_.size(), 1);
+    for (std::size_t owner = 0; owner < computers_.size(); ++owner) {
+      combine_slots_[owner].assign(
+          owners_.local_size(static_cast<unsigned>(owner)), 0);
+    }
   }
 }
 
@@ -48,8 +83,17 @@ void DispatcherActor::on_message(DispatcherMsg msg) {
       } catch (const std::exception& e) {
         // A user gen_msg hook threw: report instead of wedging the
         // superstep barrier (§V.C exception handling).
-        for (auto& buffer : staging_) {
-          buffer.clear();
+        for (std::size_t owner = 0; owner < computers_.size(); ++owner) {
+          staging_[owner].clear();
+          if (range_staging_) {
+            for (std::size_t b = 0; b < kRadixBins; ++b) {
+              bins_[owner * kRadixBins + b].clear();
+            }
+            staged_count_[owner] = 0;
+          }
+          if (combining_) {
+            ++combine_gen_[owner];
+          }
         }
         ManagerMsg failed;
         failed.kind = ManagerMsg::Kind::kWorkerFailed;
@@ -98,26 +142,60 @@ void DispatcherActor::run_iteration(std::uint64_t superstep) {
     } else {
       degree = static_cast<std::uint32_t>(record_entries - 1);
     }
+    // Uniform-message programs (PageRank, BFS, CC) pay gen_msg's virtual
+    // call and arithmetic once per vertex, not once per out-edge; the
+    // first destination is passed only for interface symmetry.
+    Payload uniform_value = 0;
+    if (uniform_message_ && record[i] != kCsrEndOfList) {
+      uniform_value = program_.gen_msg(
+          v, static_cast<VertexId>(record[i]), value, degree);
+    }
     while (record[i] != kCsrEndOfList) {
       const VertexId dst = static_cast<VertexId>(record[i]);
       ++i;
-      const Payload message = program_.gen_msg(v, dst, value, degree);
-      const std::size_t owner = dst % computers_.size();
+      const Payload message =
+          uniform_message_ ? uniform_value
+                           : program_.gen_msg(v, dst, value, degree);
+      const std::size_t owner = owners_.owner_of(dst);
       if (combining_) {
-        auto [it, inserted] =
-            combine_index_[owner].try_emplace(dst, staging_[owner].size());
-        if (!inserted) {
-          VertexMessage& pending = staging_[owner][it->second];
+        const VertexId local =
+            owners_.local_index(dst, static_cast<unsigned>(owner));
+        std::uint64_t& entry = combine_slots_[owner][local];
+        // The entry's low half is the pending message's staging position
+        // + 1: its index in the owner's destination bin under range
+        // staging, in the flat staging buffer under mod.
+        std::vector<VertexMessage>& stage =
+            range_staging_
+                ? bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
+                : staging_[owner];
+        if ((entry >> 32) == combine_gen_[owner]) {
+          VertexMessage& pending =
+              stage[static_cast<std::uint32_t>(entry) - 1];
           pending.value = program_.combine(pending.value, message);
         } else {
-          staging_[owner].push_back(VertexMessage{dst, message});
+          entry = (combine_gen_[owner] << 32) |
+                  static_cast<std::uint32_t>(stage.size() + 1);
+          stage.push_back(VertexMessage{dst, message});
+          if (range_staging_) {
+            ++staged_count_[owner];
+          }
           ++messages_this_superstep_;
         }
+      } else if (range_staging_) {
+        // Bin-bucketed staging: land the message directly in its radix
+        // bin while dst is in registers; the flush then only needs
+        // sequential copies to emit an ascending-dst batch.
+        const VertexId local =
+            owners_.local_index(dst, static_cast<unsigned>(owner));
+        bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
+            .push_back(VertexMessage{dst, message});
+        ++staged_count_[owner];
+        ++messages_this_superstep_;
       } else {
         staging_[owner].push_back(VertexMessage{dst, message});
         ++messages_this_superstep_;
       }
-      if (behavior_.overlap && staging_[owner].size() >= batch_size_) {
+      if (behavior_.overlap && staged_size(owner) >= batch_size_) {
         flush_batch(owner, superstep);
       }
     }
@@ -138,26 +216,54 @@ void DispatcherActor::run_iteration(std::uint64_t superstep) {
 
 void DispatcherActor::flush_batch(std::size_t computer_index,
                                   std::uint64_t superstep) {
-  auto& buffer = staging_[computer_index];
-  if (buffer.empty()) {
+  if (staged_size(computer_index) == 0) {
     return;
   }
   ComputerMsg msg;
   msg.kind = ComputerMsg::Kind::kBatch;
   msg.superstep = superstep;
-  msg.batch = std::move(buffer);
-  buffer = {};
-  buffer.reserve(batch_size_);
+  if (range_staging_) {
+    // Cache-ordered staging: concatenate the radix bins into a leased
+    // buffer; the bins keep their capacity for the next window.
+    msg.batch = pool_.lease();
+    gather_bins(computer_index, msg.batch);
+    staged_count_[computer_index] = 0;
+  } else {
+    // Legacy mod routing (ablation baseline): ship the staging buffer in
+    // arrival order and lease its replacement.
+    auto& buffer = staging_[computer_index];
+    msg.batch = std::move(buffer);
+    buffer = pool_.lease();
+  }
   if (combining_) {
-    combine_index_[computer_index].clear();
+    ++combine_gen_[computer_index];  // O(1) direct-map reset
   }
   computers_[computer_index]->send(std::move(msg));
 }
 
 void DispatcherActor::flush_all(std::uint64_t superstep) {
-  for (std::size_t i = 0; i < staging_.size(); ++i) {
+  for (std::size_t i = 0; i < computers_.size(); ++i) {
     flush_batch(i, superstep);
   }
+}
+
+void DispatcherActor::gather_bins(std::size_t owner,
+                                  std::vector<VertexMessage>& out) {
+  // The leased buffer already carries message_batch capacity; this grows
+  // it only when a batch exceeds that (the non-overlap ablation holds
+  // whole intervals back). VertexMessage's no-op default constructor
+  // keeps the resize from clearing elements the copies fully overwrite.
+  out.resize(staged_count_[owner]);  // gpsa-lint: allow(msg-buffer-alloc)
+  VertexMessage* cursor = out.data();
+  const std::size_t base = owner * kRadixBins;
+  // Ascending bins, arrival order within a bin: per-vertex fold order
+  // matches the unsorted plane, so results stay bit-identical.
+  for (std::size_t b = 0; b < kRadixBins; ++b) {
+    std::vector<VertexMessage>& bin = bins_[base + b];
+    cursor = std::copy(bin.begin(), bin.end(), cursor);
+    bin.clear();
+  }
+  GPSA_DCHECK(cursor == out.data() + out.size());
 }
 
 }  // namespace gpsa

@@ -4,18 +4,34 @@
 // ITERATION_START it streams its interval's records: vertices whose
 // dispatch-column stale flag is set are skipped; active vertices have one
 // message generated per out-edge via Program::gen_msg, routed to the
-// computing actor that owns the destination (dst mod computer-count) in
+// computing actor that owns the destination (OwnerMap: contiguous vertex
+// ranges by default, dst mod computer-count as the ablation baseline) in
 // batches, and are then consumed (flag re-set to 1). When the interval is
 // exhausted it reports DISPATCH_OVER with its message count and waits for
 // the next command.
+//
+// Message-plane mechanics (DESIGN.md §11):
+//   - batch buffers are leased from the engine's MessageBatchPool and
+//     recycled by the computing actors after apply, so steady-state
+//     supersteps allocate nothing on this path;
+//   - under range routing messages are staged straight into per-owner
+//     radix bins (256 bins over the owner's dense local range, appended
+//     in arrival order) and a flush concatenates the bins into a leased
+//     buffer with sequential copies, so the computer applies each batch
+//     in ascending-dst order — near-sequential value-column writes — and
+//     the dispatcher never re-scans a batch to sort it;
+//   - the combiner index is a direct-map table over each owner's dense
+//     local range (generation-tagged for O(1) per-flush reset), replacing
+//     the per-message unordered_map probe.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "actor/actor.hpp"
+#include "core/message_pool.hpp"
 #include "core/messages.hpp"
+#include "core/ownership.hpp"
 #include "core/program.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/partition.hpp"
@@ -42,15 +58,18 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
 
   /// `stream` carries the interval's record bytes (the reader supplies
   /// only metadata: offsets, degree flag); `readahead` runs the window
-  /// policy over it and the value file. Both must outlive the actor.
+  /// policy over it and the value file. `owners` routes destinations and
+  /// `pool` supplies batch buffers. All references must outlive the actor.
   DispatcherActor(std::uint32_t id, Interval interval,
                   const CsrFileReader& csr, CsrEntryStream& stream,
                   ReadaheadScheduler& readahead, ValueFile& values,
-                  const Program& program, std::size_t batch_size,
+                  const Program& program, const OwnerMap& owners,
+                  MessageBatchPool& pool, std::size_t batch_size,
                   Behavior behavior);
 
   /// Wiring is two-phase: computers and the manager are spawned after the
-  /// dispatchers, then connected before the run starts.
+  /// dispatchers, then connected before the run starts. computers.size()
+  /// must equal owners.parts().
   void connect(std::vector<ComputerActor*> computers, ManagerActor* manager);
 
   std::uint64_t messages_sent_total() const { return messages_sent_total_; }
@@ -71,9 +90,22 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   void on_message(DispatcherMsg msg) override;
 
  private:
+  /// Bin count of the per-owner radix scatter: 256 bins over the owner's
+  /// dense local range keep the counting arrays on one worker's stack
+  /// while ordering each batch to ~1/256th-of-a-slice granularity.
+  static constexpr std::size_t kRadixBins = 256;
+
   void run_iteration(std::uint64_t superstep);
   void flush_batch(std::size_t computer_index, std::uint64_t superstep);
   void flush_all(std::uint64_t superstep);
+  /// Concatenates `owner`'s staged bins (ascending, arrival order within
+  /// a bin) into `out` and clears them (range routing's ordered flush).
+  void gather_bins(std::size_t owner, std::vector<VertexMessage>& out);
+
+  /// Messages currently staged for `owner` under either staging scheme.
+  std::size_t staged_size(std::size_t owner) const {
+    return range_staging_ ? staged_count_[owner] : staging_[owner].size();
+  }
 
   const std::uint32_t id_;
   const Interval interval_;
@@ -82,17 +114,37 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   ReadaheadScheduler& readahead_;
   ValueFile& values_;
   const Program& program_;
+  const OwnerMap& owners_;
+  MessageBatchPool& pool_;
   const std::size_t batch_size_;
   const Behavior behavior_;
 
   std::vector<ComputerActor*> computers_;
   ManagerActor* manager_ = nullptr;
 
-  // Per-computer staging buffers, reused across supersteps.
+  // Mod routing: per-computer staging buffers, seeded once at connect();
+  // afterwards every buffer entering or leaving circulates through the
+  // pool. Unused under range routing (bins_ stages instead).
   std::vector<std::vector<VertexMessage>> staging_;
-  // Combiner index: dst -> position in the staging buffer. Only
-  // populated when behavior_.combine and the program has a combiner.
-  std::vector<std::unordered_map<VertexId, std::size_t>> combine_index_;
+  // Range routing: flat parts x kRadixBins bucketed staging. Pushes append
+  // to the destination's bin; flushes gather the bins in ascending order
+  // with sequential copies. Bin vectors are allocated lazily during
+  // warm-up and keep their capacity, so steady-state supersteps stay
+  // allocation-free on this path too.
+  std::vector<std::vector<VertexMessage>> bins_;
+  // Range routing: staged-message count per owner (the flush trigger;
+  // summing 256 bin sizes per push would defeat the point).
+  std::vector<std::size_t> staged_count_;
+  // Direct-map combiner: per owner, one generation-tagged entry per dense
+  // local vertex — entry (gen << 32) | (staging position + 1) is live iff
+  // its generation matches combine_gen_[owner]. Bumping the generation
+  // resets the whole table in O(1) at each flush.
+  std::vector<std::vector<std::uint64_t>> combine_slots_;
+  std::vector<std::uint64_t> combine_gen_;
+  // Per-owner radix shift: (local_size - 1) >> shift < kRadixBins.
+  std::vector<unsigned> radix_shift_;
+  bool range_staging_ = false;
+  bool uniform_message_ = false;
   bool combining_ = false;
   std::uint64_t messages_this_superstep_ = 0;
   std::uint64_t messages_sent_total_ = 0;

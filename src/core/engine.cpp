@@ -86,6 +86,22 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
       make_intervals(csr, options.num_dispatchers, options.partition);
   GPSA_CHECK(!intervals.empty());
 
+  // --- Message plane: destination ownership + batch-buffer pool. ---------
+  // Range routing derives contiguous per-computer slices from the same
+  // interval machinery; the partitioner may return fewer non-empty slices
+  // than requested on tiny graphs, and we spawn exactly that many
+  // computers.
+  const MessageRouting routing = resolve_message_routing(options.routing);
+  const OwnerMap owners =
+      routing == MessageRouting::kRange
+          ? OwnerMap::make_range_from_intervals(
+                make_intervals(csr, options.num_computers, options.partition))
+          : OwnerMap::make_mod(n, options.num_computers);
+  // Declared before the ActorSystem: buffers still sitting in mailboxes at
+  // shutdown are destroyed while the pool is alive (message_pool.hpp).
+  MessageBatchPool pool(options.message_batch,
+                        resolve_message_pool_enabled(options.message_pool));
+
   // --- Cold-cache protocol (bench_ablation_io): everything written or
   // faulted in during setup — CSR validation touches every entry page —
   // is evicted so the run starts against the bare disk. ------------------
@@ -121,15 +137,15 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
   ActorSystem system(workers);
 
   std::vector<ComputerActor*> computers;
-  computers.reserve(options.num_computers);
-  for (std::uint32_t c = 0; c < options.num_computers; ++c) {
+  computers.reserve(owners.parts());
+  for (std::uint32_t c = 0; c < owners.parts(); ++c) {
     computers.push_back(
         system.spawn<ComputerActor>(c, std::ref(values), std::cref(program),
-                                    std::ref(latest_column)));
+                                    std::ref(latest_column), std::ref(pool)));
   }
   auto* manager = system.spawn<ManagerActor>(
       std::ref(values), budget, options.checkpoint_each_superstep,
-      /*terminate_on_zero_updates=*/options.dispatch_inactive);
+      /*terminate_on_zero_updates=*/options.dispatch_inactive, &pool);
   std::vector<DispatcherActor*> dispatchers;
   dispatchers.reserve(intervals.size());
   DispatcherActor::Behavior behavior;
@@ -140,7 +156,7 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
     dispatchers.push_back(system.spawn<DispatcherActor>(
         d, intervals[d], std::cref(csr), std::ref(*streams[d]),
         std::ref(*readaheads[d]), std::ref(values), std::cref(program),
-        options.message_batch, behavior));
+        std::cref(owners), std::ref(pool), options.message_batch, behavior));
   }
   for (DispatcherActor* dispatcher : dispatchers) {
     dispatcher->connect(computers, manager);
@@ -187,9 +203,13 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
     out.prefetch += streams[d]->counters();
     out.prefetch += readaheads[d]->value_counters();
   }
+  out.readahead_hit_rate = out.prefetch.hit_rate();
   for (const ComputerActor* computer : computers) {
     out.io.bytes_written += 4 * computer->touches_total();
+    out.computer_busy_seconds.push_back(computer->busy_seconds());
   }
+  out.pool = pool.stats();
+  out.routing = routing;
   out.working_set_bytes =
       csr.entry_file_bytes() + ValueFile::file_size(n) +
       (static_cast<std::uint64_t>(n) + 1) * sizeof(std::uint64_t);

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/manager.hpp"
+#include "core/message_pool.hpp"
+#include "core/ownership.hpp"
 #include "core/program.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/partition.hpp"
@@ -41,8 +43,12 @@ struct EngineOptions {
   /// Scheduler worker threads; 0 means default_worker_count().
   unsigned scheduler_workers = 0;
   PartitionStrategy partition = PartitionStrategy::kBalancedEdges;
-  /// VertexMessages per mailbox batch.
-  std::size_t message_batch = 1024;
+  /// VertexMessages per mailbox batch. 4096 (64 KiB of messages, still
+  /// L2-resident) amortizes flush/send overhead and gives range routing's
+  /// ascending-dst batches enough density for near-sequential applies;
+  /// bench_ablation_message_plane measured it ~1.2x the throughput of
+  /// 1024 on the google stand-in.
+  std::size_t message_batch = 4096;
   /// Caps supersteps in addition to Program::max_supersteps (the smaller
   /// wins). 0 means "no engine-side cap".
   std::uint64_t max_supersteps = 0;
@@ -71,6 +77,18 @@ struct EngineOptions {
   /// readahead window, drop-behind, cold-start. Unset fields follow
   /// GPSA_IO_BACKEND / GPSA_READAHEAD_MB / etc.
   IoOptions io;
+  /// Lease/recycle batch buffers through the shared MessageBatchPool so
+  /// steady-state supersteps allocate nothing on the message plane.
+  /// Unset follows GPSA_MSG_POOL (default on); false is the
+  /// allocate-per-flush ablation baseline.
+  std::optional<bool> message_pool;
+  /// Destination -> computer map (core/ownership.hpp). Unset follows
+  /// GPSA_ROUTING (default range: contiguous per-computer vertex slices
+  /// from the Interval machinery; mod keeps the legacy interleaved map as
+  /// the ablation baseline). Under range routing on tiny graphs the
+  /// partitioner may produce fewer than num_computers non-empty slices;
+  /// the engine then spawns exactly that many computers.
+  std::optional<MessageRouting> routing;
 };
 
 struct RunResult {
@@ -100,6 +118,17 @@ struct RunResult {
   /// Per-dispatcher wall time spent dispatching; elapsed_seconds minus
   /// this is that dispatcher's idle time (partition-skew diagnostics).
   std::vector<double> dispatcher_busy_seconds;
+  /// Per-computer wall time spent applying batches (the compute-side
+  /// complement, used by the message-plane bench).
+  std::vector<double> computer_busy_seconds;
+  /// Batch-buffer pool activity (hits/misses/steady misses/bytes
+  /// recycled); enabled=false when the run used the allocation baseline.
+  MessagePoolStats pool;
+  /// Routing the run actually used (after GPSA_ROUTING resolution).
+  MessageRouting routing = MessageRouting::kRange;
+  /// Readahead window hit rate over every prefetch plane of the run
+  /// (summed `prefetch` counters; 1.0 when no window activity occurred).
+  double readahead_hit_rate = 1.0;
 };
 
 class Engine {

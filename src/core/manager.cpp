@@ -9,11 +9,13 @@ namespace gpsa {
 
 ManagerActor::ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
                            bool checkpoint_each_superstep,
-                           bool terminate_on_zero_updates)
+                           bool terminate_on_zero_updates,
+                           MessageBatchPool* pool)
     : values_(values),
       max_supersteps_(max_supersteps),
       checkpoint_each_superstep_(checkpoint_each_superstep),
-      terminate_on_zero_updates_(terminate_on_zero_updates) {}
+      terminate_on_zero_updates_(terminate_on_zero_updates),
+      pool_(pool) {}
 
 void ManagerActor::connect(std::vector<DispatcherActor*> dispatchers,
                            std::vector<ComputerActor*> computers) {
@@ -94,6 +96,9 @@ void ManagerActor::finish_superstep() {
   result_.total_updates += superstep_update_count_;
   ++superstep_;
   result_.supersteps = result_.superstep_seconds.size();
+  if (pool_ != nullptr) {
+    pool_->mark_superstep();  // closes the pool's warm-up window
+  }
 
   if (checkpoint_each_superstep_) {
     values_.checkpoint(superstep_).expect_ok();

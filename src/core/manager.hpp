@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "actor/actor.hpp"
+#include "core/message_pool.hpp"
 #include "core/messages.hpp"
 #include "storage/value_file.hpp"
 #include "util/timer.hpp"
@@ -47,10 +48,12 @@ class ManagerActor final : public Actor<ManagerMsg> {
  public:
   /// `terminate_on_zero_updates`: also stop when a superstep applies no
   /// updates (needed when dispatch_inactive keeps message counts nonzero
-  /// forever).
+  /// forever). `pool` (may be null) is told about each superstep boundary
+  /// so MessagePoolStats can split warm-up misses from steady-state ones.
   ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
                bool checkpoint_each_superstep,
-               bool terminate_on_zero_updates = false);
+               bool terminate_on_zero_updates = false,
+               MessageBatchPool* pool = nullptr);
 
   void connect(std::vector<DispatcherActor*> dispatchers,
                std::vector<ComputerActor*> computers);
@@ -70,6 +73,7 @@ class ManagerActor final : public Actor<ManagerMsg> {
   const std::uint64_t max_supersteps_;
   const bool checkpoint_each_superstep_;
   const bool terminate_on_zero_updates_;
+  MessageBatchPool* const pool_;
 
   std::vector<DispatcherActor*> dispatchers_;
   std::vector<ComputerActor*> computers_;

@@ -1,0 +1,99 @@
+// Pooled VertexMessage batch buffers (the zero-allocation message plane).
+//
+// The dispatch hot path used to pay one heap allocation per flushed batch:
+// flush_batch moved the staging vector into the mailbox message and
+// reserve()d a fresh one, and the drained vector was freed when the
+// computing actor destroyed the message. GraphHP and the Ammar-Özsu
+// systems analysis (PAPERS.md) both put per-message allocator traffic
+// among the dominant BSP message-plane costs once I/O is pipelined.
+//
+// This pool closes the loop: dispatchers *lease* an empty buffer with the
+// batch capacity already reserved, and computing actors *recycle* the
+// drained buffer after applying it. After a warm-up superstep or two the
+// set of circulating buffers covers the maximum in-flight batch count and
+// steady-state supersteps run allocation-free — MessagePoolStats reports
+// exactly that (steady_misses == 0) and the message-plane bench gates on
+// it.
+//
+// Concurrency: lease() runs on dispatcher actors, recycle() on computing
+// actors, mark_superstep() on the manager — all scheduler workers. One
+// annotated Mutex guards the free list; the critical sections are a
+// vector move plus counter bumps, two orders of magnitude cheaper than
+// the malloc/free pair they replace (and off the per-message path
+// entirely: one lease+recycle per EngineOptions::message_batch messages).
+//
+// Lifetime: the engine owns the pool and keeps it alive until after
+// ActorSystem::shutdown(), so buffers still sitting in mailboxes at
+// SYSTEM_OVER are simply destroyed with their messages (a leased buffer
+// is an ordinary std::vector — dropping it instead of recycling is safe,
+// it is only a pool miss waiting to happen in a run that has already
+// ended).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gpsa {
+
+/// Pool activity surfaced in RunResult (and the bench JSON artifact).
+struct MessagePoolStats {
+  bool enabled = false;
+  std::uint64_t leases = 0;
+  /// Leases served from the free list (no allocation).
+  std::uint64_t hits = 0;
+  /// Leases that had to allocate a fresh buffer.
+  std::uint64_t misses = 0;
+  /// Misses after the warm-up window (the first two supersteps). Zero in
+  /// steady state by design; the message-plane bench gate enforces it.
+  std::uint64_t steady_misses = 0;
+  /// Capacity returned through recycle(), in bytes.
+  std::uint64_t recycled_bytes = 0;
+};
+
+/// Reads GPSA_MSG_POOL (default on) when `requested` is unset.
+bool resolve_message_pool_enabled(std::optional<bool> requested);
+
+class MessageBatchPool {
+ public:
+  /// `batch_capacity`: capacity every leased buffer is reserved to
+  /// (EngineOptions::message_batch). `enabled=false` degrades lease() to
+  /// plain allocation and recycle() to a drop — the ablation baseline —
+  /// while keeping one code path in the actors.
+  explicit MessageBatchPool(std::size_t batch_capacity, bool enabled = true);
+
+  MessageBatchPool(const MessageBatchPool&) = delete;
+  MessageBatchPool& operator=(const MessageBatchPool&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// An empty buffer with at least batch_capacity reserved.
+  std::vector<VertexMessage> lease() GPSA_EXCLUDES(mutex_);
+
+  /// Return a drained buffer; its capacity re-enters circulation.
+  void recycle(std::vector<VertexMessage>&& buffer) GPSA_EXCLUDES(mutex_);
+
+  /// Superstep boundary (called by the manager): after two of these the
+  /// warm-up window closes and further misses count as steady_misses.
+  void mark_superstep() GPSA_EXCLUDES(mutex_);
+
+  MessagePoolStats stats() const GPSA_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t batch_capacity_;
+  const bool enabled_;
+
+  mutable Mutex mutex_;
+  std::vector<std::vector<VertexMessage>> free_ GPSA_GUARDED_BY(mutex_);
+  std::uint64_t leases_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t steady_misses_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recycled_bytes_ GPSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t supersteps_marked_ GPSA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace gpsa

@@ -9,6 +9,13 @@
 // EngineOptions::message_batch VertexMessages per computing actor before
 // enqueueing the vector as one mailbox message, so mailbox traffic is
 // proportional to batches, not edges.
+//
+// Buffer ownership: ComputerMsg::batch usually carries a buffer *leased*
+// from the engine's MessageBatchPool (core/message_pool.hpp). The
+// receiving computer recycles it after applying; a message destroyed
+// without being applied (teardown after SYSTEM_OVER) simply frees the
+// vector — safe, because the pool outlives the actor system and never
+// tracks outstanding leases.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,12 @@ namespace gpsa {
 /// One vertex update in flight: "a message usually contains the
 /// destination and value" (§IV.B).
 struct VertexMessage {
+  // The user-provided default constructor deliberately leaves the members
+  // uninitialized: the radix scatter (dispatcher.cpp) resizes a leased
+  // buffer and then overwrites every element, and a defaulted constructor
+  // would make that resize memset the whole batch first.
+  VertexMessage() {}  // NOLINT(modernize-use-equals-default)
+  VertexMessage(VertexId d, Payload v) : dst(d), value(v) {}
   VertexId dst;
   Payload value;
 };

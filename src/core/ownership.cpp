@@ -1,0 +1,107 @@
+#include "core/ownership.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gpsa {
+
+const char* message_routing_name(MessageRouting routing) {
+  switch (routing) {
+    case MessageRouting::kMod:
+      return "mod";
+    case MessageRouting::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+Result<MessageRouting> parse_message_routing(std::string_view name) {
+  if (name == "mod") {
+    return MessageRouting::kMod;
+  }
+  if (name == "range") {
+    return MessageRouting::kRange;
+  }
+  return invalid_argument("unknown message routing '" + std::string(name) +
+                          "' (expected mod|range)");
+}
+
+MessageRouting resolve_message_routing(
+    std::optional<MessageRouting> requested) {
+  if (requested.has_value()) {
+    return *requested;
+  }
+  const char* raw = std::getenv("GPSA_ROUTING");
+  if (raw == nullptr || *raw == '\0') {
+    return MessageRouting::kRange;
+  }
+  auto parsed = parse_message_routing(raw);
+  if (!parsed.is_ok()) {
+    GPSA_LOG(Warn) << "GPSA_ROUTING: " << parsed.status().to_string()
+                   << "; using range";
+    return MessageRouting::kRange;
+  }
+  return parsed.value();
+}
+
+OwnerMap::OwnerMap(MessageRouting routing, VertexId num_vertices,
+                   unsigned parts, std::vector<VertexId> boundaries)
+    : routing_(routing),
+      num_vertices_(num_vertices),
+      parts_(parts),
+      boundaries_(std::move(boundaries)) {
+  if (routing_ != MessageRouting::kRange) {
+    return;
+  }
+  // Block granularity: at most ~4Ki blocks so the table stays resident in
+  // L1/L2 next to the dispatch loop's working set.
+  constexpr unsigned kMaxBlocks = 4096;
+  block_shift_ = 0;
+  while ((static_cast<std::uint64_t>(num_vertices_) >> block_shift_) >=
+         kMaxBlocks) {
+    ++block_shift_;
+  }
+  const std::size_t blocks =
+      static_cast<std::size_t>(num_vertices_ >> block_shift_) + 1;
+  block_table_.resize(blocks);
+  unsigned owner = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const VertexId start = static_cast<VertexId>(b) << block_shift_;
+    while (owner + 1 < parts_ && boundaries_[owner + 1] <= start) {
+      ++owner;
+    }
+    block_table_[b] = owner;
+  }
+}
+
+OwnerMap OwnerMap::make_mod(VertexId num_vertices, unsigned parts) {
+  GPSA_CHECK(parts >= 1);
+  return OwnerMap(MessageRouting::kMod, num_vertices, parts, {});
+}
+
+OwnerMap OwnerMap::make_range(std::vector<VertexId> boundaries) {
+  GPSA_CHECK(boundaries.size() >= 2);
+  GPSA_CHECK(boundaries.front() == 0);
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    GPSA_CHECK(boundaries[i] >= boundaries[i - 1]);
+  }
+  const VertexId n = boundaries.back();
+  const auto parts = static_cast<unsigned>(boundaries.size() - 1);
+  return OwnerMap(MessageRouting::kRange, n, parts, std::move(boundaries));
+}
+
+OwnerMap OwnerMap::make_range_from_intervals(
+    const std::vector<Interval>& intervals) {
+  GPSA_CHECK(!intervals.empty());
+  std::vector<VertexId> boundaries;
+  boundaries.reserve(intervals.size() + 1);
+  for (const Interval& interval : intervals) {
+    boundaries.push_back(interval.begin_vertex);
+  }
+  boundaries.push_back(intervals.back().end_vertex);
+  return make_range(std::move(boundaries));
+}
+
+}  // namespace gpsa

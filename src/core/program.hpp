@@ -54,6 +54,13 @@ class Program {
   virtual Payload gen_msg(VertexId src, VertexId dst, Payload value,
                           std::uint32_t out_degree) const = 0;
 
+  /// True when gen_msg ignores `dst` (PageRank's share, BFS's depth+1,
+  /// CC's label): the dispatcher then calls it once per vertex instead of
+  /// once per out-edge, hoisting the virtual call — and any per-message
+  /// arithmetic like PageRank's divide — out of the edge loop. SSSP keeps
+  /// the default (its synthetic edge weight depends on the endpoint).
+  virtual bool uniform_gen_msg() const { return false; }
+
   /// Accumulator seed for the first message of a superstep at vertex v,
   /// given v's current stored payload.
   virtual Payload first_update(VertexId v, Payload stored) const = 0;

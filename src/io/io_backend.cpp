@@ -97,6 +97,9 @@ Result<IoConfig> IoOptions::resolve() const {
   config.io_threads = io_threads.has_value()
                           ? *io_threads
                           : static_cast<unsigned>(env_u64("GPSA_IO_THREADS", 2));
+  config.readahead_auto = readahead_auto.has_value()
+                              ? *readahead_auto
+                              : env_bool("GPSA_READAHEAD_AUTO", false);
   config.cold_start = cold_start;
 
   if (config.block_bytes < (4u << 10)) {

@@ -65,6 +65,11 @@ struct IoOptions {
   std::optional<std::size_t> block_bytes;
   /// GPSA_IO_THREADS (default 2): pread prefetch pool size.
   std::optional<unsigned> io_threads;
+  /// GPSA_READAHEAD_AUTO (default off): let each ReadaheadScheduler re-arm
+  /// its window from the measured per-superstep hit rate — grow (up to 4x
+  /// the configured window) while fetches miss the window, shrink (down to
+  /// 1/4) while every fetch hits.
+  std::optional<bool> readahead_auto;
   /// Evict the engine's working files from the page cache after setup and
   /// before the run starts (bench_ablation_io's cold-cache protocol).
   bool cold_start = false;
@@ -81,6 +86,7 @@ struct IoConfig {
   bool drop_behind = true;
   std::size_t block_bytes = 256u << 10;
   unsigned io_threads = 2;
+  bool readahead_auto = false;
   bool cold_start = false;
 
   /// Block-cache capacity: the readahead window plus slack for the

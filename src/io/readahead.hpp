@@ -15,6 +15,15 @@
 // issued every half window, so each byte is requested ahead exactly once.
 // Actor-friendly: owned and driven entirely by its dispatcher's thread,
 // no locks, no shared state.
+//
+// Auto re-arm (GPSA_READAHEAD_AUTO=1, IoConfig::readahead_auto): at each
+// superstep boundary the scheduler reads its stream's PrefetchCounters
+// delta and re-arms the window from the measured hit rate — misses mean
+// the window ran behind the cursor, so it doubles (up to 4x the
+// configured size); an all-hit superstep means the window over-requests,
+// so it halves (down to 1/4, never to zero). The mmap backend reports
+// every fetch as a hit (the mapping is always resident), so auto mode
+// converges to the floor there — the floor is what keeps that harmless.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +41,9 @@ class ReadaheadScheduler {
   ReadaheadScheduler(const IoConfig& config, CsrEntryStream* csr,
                      ValueFile* values, Interval interval);
 
-  /// Resets cursors to the interval start and primes the first window.
+  /// Resets cursors to the interval start, re-arms the window from the
+  /// previous superstep's measured hit rate (auto mode), and primes the
+  /// first window.
   void begin_superstep();
 
   /// Dispatcher cursor moved to `entry_cursor` (about to process `vertex`).
@@ -51,21 +62,37 @@ class ReadaheadScheduler {
   /// Value-plane hint counters (the CSR plane's live in its stream).
   PrefetchCounters value_counters() const { return value_counters_; }
 
+  /// Current CSR window, in entries (tests observe the auto re-arm here).
+  std::uint64_t window_entries() const { return window_entries_; }
+
  private:
   void advance_csr(std::uint64_t entry_cursor);
   void advance_values(VertexId vertex);
+  void rearm_from_hit_rate();
+
+  /// Auto re-arm thresholds: grow below 90% hits, shrink above 98%.
+  static constexpr double kGrowBelowHitRate = 0.90;
+  static constexpr double kShrinkAboveHitRate = 0.98;
+  /// Bounds as multiples of the configured window: [base/4, base*4].
+  static constexpr std::uint64_t kMaxScale = 4;
 
   CsrEntryStream* const csr_;
   ValueFile* const values_;
   const Interval interval_;
-  const std::uint64_t window_entries_;
-  const std::uint64_t window_vertices_;
+  const std::uint64_t base_window_entries_;
+  const std::uint64_t base_window_vertices_;
   const bool drop_behind_;
+  const bool auto_tune_;
 
+  std::uint64_t window_entries_ = 0;
+  std::uint64_t window_vertices_ = 0;
   std::uint64_t csr_trigger_ = 0;
   std::uint64_t csr_prefetched_ = 0;
   std::uint64_t value_trigger_ = 0;
   std::uint64_t value_prefetched_ = 0;
+  /// Stream-counter snapshot at the last re-arm (per-superstep deltas).
+  std::uint64_t last_window_hits_ = 0;
+  std::uint64_t last_window_misses_ = 0;
   PrefetchCounters value_counters_;
 };
 

@@ -1,0 +1,21 @@
+// Fixture: exactly one msg-buffer-alloc finding (line 11). Lint-only,
+// never compiled.
+#include <vector>
+
+struct VertexMessage {};
+
+void build_staging(std::size_t computers) {
+  // Sized allocation on a declared VertexMessage buffer must fire:
+  std::vector<VertexMessage> buffer;
+  other.reserve(64);  // unrelated name: must not fire
+  buffer.reserve(1024);
+}
+
+// Compliant shapes that must not fire:
+void compliant(MessageBatchPool& pool) {
+  std::vector<VertexMessage> leased = pool.lease();   // lease, no sizing
+  std::vector<VertexMessage> empty;                   // default-construct
+  std::vector<int> ints;
+  ints.resize(128);                                   // not a msg buffer
+  pool.recycle(std::move(leased));
+}

@@ -13,6 +13,13 @@ int suppressed_order() {
 
 int plain_order() { return counter.load(); }
 
+struct VertexMessage {};
+
+void suppressed_buffer_alloc() {
+  std::vector<VertexMessage> buffer;
+  buffer.reserve(1024);  // gpsa-lint: allow(msg-buffer-alloc)
+}
+
 struct Waitable {
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -19,9 +19,13 @@
 #include "apps/pagerank.hpp"
 #include "cluster/cluster_engine.hpp"
 #include "core/engine.hpp"
+#include "graph/csr_file.hpp"
 #include "graph/generators.hpp"
+#include "io/csr_stream.hpp"
 #include "io/io_backend.hpp"
+#include "io/readahead.hpp"
 #include "platform/file_util.hpp"
+#include "storage/value_file.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
 
@@ -330,6 +334,88 @@ TEST_F(IoEngineEquality, ColdStartStillProducesIdenticalResults) {
     ASSERT_TRUE(cold.is_ok());
     expect_payloads_equal(cold.value().values, warm.value().values);
   }
+}
+
+// --- Readahead auto re-arm ----------------------------------------------------
+
+TEST_F(IoEngineEquality, ReadaheadAutoDoesNotChangeResults) {
+  const EdgeList graph = test_graph();
+  const PageRankProgram program(4);
+  const auto baseline =
+      Engine::run(graph, program, engine_options(IoBackendKind::kPread, 0));
+  ASSERT_TRUE(baseline.is_ok());
+  for (const IoBackendKind kind : supported_backends()) {
+    SCOPED_TRACE(io_backend_name(kind));
+    EngineOptions eo = engine_options(kind, 1u << 20);
+    eo.io.readahead_auto = true;
+    const auto result = Engine::run(graph, program, eo);
+    ASSERT_TRUE(result.is_ok());
+    expect_payloads_equal(result.value().values, baseline.value().values);
+    // The summed hit rate the engine surfaces is a well-formed ratio.
+    EXPECT_GE(result.value().readahead_hit_rate, 0.0);
+    EXPECT_LE(result.value().readahead_hit_rate, 1.0);
+  }
+}
+
+TEST(ReadaheadAuto, AllHitSuperstepsShrinkWindowToFloor) {
+  // The mmap backend reports every fetch as a window hit (the mapping is
+  // always resident), so auto mode must converge the window down to its
+  // base/4 floor — and stop there, never collapsing to zero.
+  auto dir = ScratchDir::create("readahead_auto");
+  ASSERT_TRUE(dir.is_ok());
+
+  // Several stream chunks long, so each superstep below can fetch a chunk
+  // the stream has not touched yet (repeat fetches inside one chunk are
+  // served without consulting the backend and leave no counter delta).
+  constexpr std::uint64_t kEntries = 6 * CsrEntryStream::kChunkEntries;
+  const std::string csr_path = dir.value().file("entries.bin");
+  {
+    std::vector<std::byte> bytes(sizeof(CsrFileHeader) +
+                                 kEntries * sizeof(std::int32_t));
+    ASSERT_TRUE(write_file(csr_path, bytes.data(), bytes.size()).ok());
+  }
+  constexpr VertexId kVertices = 1024;
+  auto values = ValueFile::create(dir.value().file("values.bin"), kVertices,
+                                  "readahead_auto");
+  ASSERT_TRUE(values.is_ok());
+
+  IoOptions opts;
+  opts.backend = IoBackendKind::kMmap;
+  opts.readahead_bytes = 64u << 10;  // base window: 16 Ki entries
+  opts.readahead_auto = true;
+  auto config = opts.resolve();
+  ASSERT_TRUE(config.is_ok());
+  auto backend = IoBackend::create(config.value());
+  ASSERT_TRUE(backend.is_ok());
+  auto stream = backend.value()->open_stream(csr_path);
+  ASSERT_TRUE(stream.is_ok());
+  CsrEntryStream entries(std::move(stream).value(), kEntries);
+
+  Interval interval;
+  interval.end_vertex = kVertices;
+  interval.end_entry = kEntries;
+  ReadaheadScheduler scheduler(config.value(), &entries, &values.value(),
+                               interval);
+  const std::uint64_t base = scheduler.window_entries();
+  ASSERT_GT(base, 4u);
+
+  scheduler.begin_superstep();  // no counter activity yet: window unchanged
+  EXPECT_EQ(scheduler.window_entries(), base);
+
+  std::uint64_t previous = base;
+  for (int superstep = 0; superstep < 4; ++superstep) {
+    entries.fetch_record(
+        static_cast<std::uint64_t>(superstep) * CsrEntryStream::kChunkEntries,
+        16);
+    scheduler.begin_superstep();
+    const std::uint64_t now = scheduler.window_entries();
+    EXPECT_LE(now, previous) << "superstep " << superstep;
+    EXPECT_GE(now, base / 4) << "superstep " << superstep;
+    previous = now;
+  }
+  // Two halvings from base land on the floor; further all-hit supersteps
+  // must hold it there.
+  EXPECT_EQ(previous, base / 4);
 }
 
 // --- Cluster per-node value stores -------------------------------------------

@@ -788,5 +788,140 @@ TEST(SchedulerPark, IoThreadPoolSubmitStormAgainstTeardown) {
   }
 }
 
+// --- 6. Batch-aware steal sizing ---------------------------------------------
+//
+// try_steal migrates up to half of a victim's backlog per episode, but only
+// when the backlog is at least kStealBatchMinDepth deep; shallow victims
+// give up exactly one unit. The two tests pin both sides of that contract
+// under the same exactly-once discipline as the deque races above, and
+// under TSan they additionally race the extras' single-unit CAS path
+// against the owner's pop.
+
+/// Leaf unit: spins briefly (so backlogs stay observable), bumps a counter,
+/// goes idle.
+class StealLeaf final : public Schedulable {
+ public:
+  explicit StealLeaf(std::atomic<int>& done) : done_(done) {}
+
+  bool execute_batch(std::size_t /*max_messages*/) override {
+    volatile int sink = 0;
+    for (int spin = 0; spin < 2'000; ++spin) {
+      sink = spin;  // volatile store: the spin cannot be optimized away
+    }
+    static_cast<void>(sink);
+    done_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+ private:
+  std::atomic<int>& done_;
+};
+
+/// Flood unit: enqueues every leaf from worker context in one burst, so
+/// they land on the executing worker's own deque and build a deep backlog.
+/// It then holds its worker hostage with a bounded wait: while it occupies
+/// the worker, the deque's owner end cannot drain, so the backlog stays
+/// deep until a woken thief actually gets scheduled — without this, a
+/// loaded machine can let the owner consume all 384 leaves before any
+/// thief wakes, and the test would race the OS scheduler instead of
+/// testing the batching policy.
+class StealFlooder final : public Schedulable {
+ public:
+  StealFlooder(Scheduler& scheduler, std::vector<StealLeaf>& leaves,
+               std::atomic<int>& done)
+      : scheduler_(scheduler),
+        leaves_(leaves),
+        done_(done),
+        extras_baseline_(scheduler.steal_extras_migrated()) {}
+
+  bool execute_batch(std::size_t /*max_messages*/) override {
+    for (StealLeaf& leaf : leaves_) {
+      scheduler_.enqueue(&leaf);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    while (scheduler_.steal_extras_migrated() == extras_baseline_ &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    done_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+ private:
+  Scheduler& scheduler_;
+  std::vector<StealLeaf>& leaves_;
+  std::atomic<int>& done_;
+  const std::uint64_t extras_baseline_;
+};
+
+TEST(StealSizing, DeepBacklogsMigrateBatchedExtras) {
+  // One worker floods its own deque with a few hundred leaves while three
+  // idle workers steal. Depth far exceeds the batching threshold, so some
+  // steal episode must migrate extras; a couple of rounds absorb the rare
+  // schedule where the flooder drains its own deque before any thief
+  // arrives.
+  constexpr int kLeaves = 384;
+  constexpr int kMaxRounds = 10;
+  Scheduler scheduler(4, 1, SchedulerMode::kWorkStealing);
+  for (int round = 0;
+       round < kMaxRounds && scheduler.steal_extras_migrated() == 0;
+       ++round) {
+    std::atomic<int> done{0};
+    std::vector<StealLeaf> leaves(static_cast<std::size_t>(kLeaves),
+                                  StealLeaf(done));
+    StealFlooder flooder(scheduler, leaves, done);
+    scheduler.enqueue(&flooder);
+    while (done.load(std::memory_order_acquire) < kLeaves + 1) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_GT(scheduler.steal_extras_migrated(), 0u);
+  EXPECT_GT(scheduler.steals_executed(), 0u);
+  scheduler.stop();
+}
+
+/// Drip unit: enqueues exactly two leaves per execution, so no deque is
+/// ever deeper than two when a thief inspects it.
+class StealDripper final : public Schedulable {
+ public:
+  StealDripper(Scheduler& scheduler, std::vector<StealLeaf>& leaves,
+               std::atomic<int>& done)
+      : scheduler_(scheduler), leaves_(leaves), done_(done) {}
+
+  bool execute_batch(std::size_t /*max_messages*/) override {
+    scheduler_.enqueue(&leaves_[0]);
+    scheduler_.enqueue(&leaves_[1]);
+    done_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+ private:
+  Scheduler& scheduler_;
+  std::vector<StealLeaf>& leaves_;
+  std::atomic<int>& done_;
+};
+
+TEST(StealSizing, ShallowBacklogsNeverMigrateExtras) {
+  // The dripper's deque holds at most its two leaves (the dripper itself
+  // is never re-enqueued), which is below kStealBatchMinDepth — so steals
+  // may happen, but the extras counter must stay at zero for the whole
+  // run. A false batch here is exactly the small-graph steal churn the
+  // depth gate exists to prevent.
+  constexpr int kRounds = 300 / kScaleDivisor + 10;
+  Scheduler scheduler(3, 1, SchedulerMode::kWorkStealing);
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> done{0};
+    std::vector<StealLeaf> leaves(2, StealLeaf(done));
+    StealDripper dripper(scheduler, leaves, done);
+    scheduler.enqueue(&dripper);
+    while (done.load(std::memory_order_acquire) < 3) {
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(scheduler.steal_extras_migrated(), 0u) << "round " << round;
+  }
+  scheduler.stop();
+}
+
 }  // namespace
 }  // namespace gpsa
