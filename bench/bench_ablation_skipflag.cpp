@@ -41,6 +41,10 @@ int main() {
       EngineOptions eo;
       eo.num_dispatchers = 2;
       eo.num_computers = 2;
+      // dispatch_inactive requires the sweep (the worklist never
+      // enumerates inactive vertices); pin both cells so the ablation
+      // isolates the stale-flag skip, not the execution mode.
+      eo.exec = ExecMode::kSweep;
       eo.dispatch_inactive = dispatch_all;
       // dispatch-all never reaches zero messages; stop on zero updates,
       // plus a hard budget in case of float-style churn.

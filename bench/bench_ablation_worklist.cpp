@@ -1,0 +1,174 @@
+// Ablation: worklist (active-bitmap) dispatch vs the sweep baseline
+// (DESIGN.md §12).
+//
+// Both modes dispatch the identical vertex set each superstep — the bit
+// is set exactly where the stale flag is clear — so results must be
+// bit-identical; the difference is pure work volume. The sweep streams
+// every interval record and checks every vertex every superstep (O(V));
+// the worklist scans only the set bits (O(active)). On BFS the gap is
+// dominated by the frontier tail: supersteps where a handful of vertices
+// are active but the sweep still walks the whole value column.
+//
+// A COST-style check rides along (McSherry et al., HotOS'15): the
+// single-threaded sequential reference executor runs the same program,
+// and the report includes its time so scripts/check_worklist_ratio.py can
+// flag a configuration whose parallel scheduling overhead exceeds the
+// plain for-loop.
+//
+// GPSA_BENCH_JSON=<path> dumps the cells for the CI gate
+// (scripts/check_worklist_ratio.py enforces >= 2x fewer edges touched
+// on the frontier tail and identical results).
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "apps/reference.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  std::printf("== Ablation: worklist vs sweep dispatch (pokec stand-in BFS, "
+              "scale %.3g) ==\n\n",
+              exp.scale);
+
+  const BfsProgram program(0);
+  const EdgeList graph = prepare_graph(PaperGraph::kPokec, AlgoKind::kBfs, exp);
+
+  struct Cell {
+    const char* name;
+    ExecMode exec;
+    double seconds = 0.0;
+    std::uint64_t supersteps = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t active = 0;
+    std::uint64_t edges_touched = 0;
+    std::vector<std::uint64_t> superstep_active;
+    std::vector<std::uint64_t> superstep_edges;
+    std::vector<Payload> values;
+  };
+  Cell cells[] = {{"sweep", ExecMode::kSweep},
+                  {"worklist", ExecMode::kWorklist}};
+  bool ok = true;
+
+  for (Cell& cell : cells) {
+    EngineOptions eo;
+    eo.num_dispatchers = 2;
+    eo.num_computers = 2;
+    if (exp.threads != 0) {
+      eo.scheduler_workers = exp.threads;
+    }
+    eo.exec = cell.exec;
+    double best = 0.0;
+    for (unsigned run = 0; run < exp.runs; ++run) {
+      auto result = Engine::run(graph, program, eo);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        ok = false;
+        break;
+      }
+      const RunResult& r = result.value();
+      if (run == 0 || r.elapsed_seconds < best) {
+        best = r.elapsed_seconds;
+      }
+      cell.seconds = best;
+      cell.supersteps = r.supersteps;
+      cell.messages = r.total_messages;
+      cell.active = std::accumulate(r.superstep_active_vertices.begin(),
+                                    r.superstep_active_vertices.end(),
+                                    std::uint64_t{0});
+      cell.edges_touched = std::accumulate(r.superstep_edges_touched.begin(),
+                                           r.superstep_edges_touched.end(),
+                                           std::uint64_t{0});
+      cell.superstep_active = r.superstep_active_vertices;
+      cell.superstep_edges = r.superstep_edges_touched;
+      cell.values = r.values;
+    }
+  }
+
+  // COST baseline: the same program on the single-threaded reference
+  // executor (one for-loop, no actors, no staging).
+  WallTimer cost_timer;
+  const ReferenceResult ref = reference_run(Csr::from_edges(graph), program);
+  const double reference_seconds = cost_timer.elapsed_seconds();
+
+  const bool results_identical = cells[0].values == cells[1].values;
+  const bool reference_identical = cells[1].values == ref.values;
+  const double edges_ratio =
+      cells[1].edges_touched == 0
+          ? 0.0
+          : static_cast<double>(cells[0].edges_touched) /
+                static_cast<double>(cells[1].edges_touched);
+
+  TextTable table({"mode", "elapsed (s)", "supersteps", "messages",
+                   "active (sum)", "edges touched", "touch ratio"});
+  for (const Cell& cell : cells) {
+    table.add_row({cell.name, TextTable::num(cell.seconds, 4),
+                   TextTable::num(cell.supersteps),
+                   TextTable::num(cell.messages),
+                   TextTable::num(cell.active),
+                   TextTable::num(cell.edges_touched),
+                   cell.exec == ExecMode::kSweep
+                       ? std::string("1.00")
+                       : TextTable::num(edges_ratio, 2)});
+  }
+  table.add_row({"reference (1 thread)", TextTable::num(reference_seconds, 4),
+                 TextTable::num(ref.supersteps),
+                 TextTable::num(ref.total_messages), "-", "-", "-"});
+  table.print();
+  std::printf("\nresults identical across modes: %s; worklist matches the "
+              "single-thread reference: %s\n",
+              results_identical ? "yes" : "NO",
+              reference_identical ? "yes" : "NO");
+  if (!results_identical || !reference_identical) {
+    ok = false;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("ablation_worklist");
+  w.key("graph").value("pokec");
+  w.key("scale").value(exp.scale);
+  w.key("results_identical").value(results_identical);
+  w.key("reference_identical").value(reference_identical);
+  w.key("reference_seconds").value(reference_seconds);
+  w.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    w.begin_object();
+    w.key("exec").value(cell.name);
+    w.key("seconds").value(cell.seconds);
+    w.key("supersteps").value(cell.supersteps);
+    w.key("messages").value(cell.messages);
+    w.key("active").value(cell.active);
+    w.key("edges_touched").value(cell.edges_touched);
+    // Per-superstep series: the gate compares the frontier *tail*, where
+    // the sweep's O(V) checks dwarf the few active vertices.
+    w.key("superstep_active").begin_array();
+    for (const std::uint64_t a : cell.superstep_active) {
+      w.value(a);
+    }
+    w.end_array();
+    w.key("superstep_edges").begin_array();
+    for (const std::uint64_t e : cell.superstep_edges) {
+      w.value(e);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const Status json = write_bench_json(w);
+  if (!json.is_ok()) {
+    std::fprintf(stderr, "%s\n", json.to_string().c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

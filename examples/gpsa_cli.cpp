@@ -6,7 +6,11 @@
 //            --engine=gpsa --dispatchers=4 --computers=4 --trace=trace.csv
 //
 // Options:
-//   --algo=pagerank|bfs|cc|sssp|multibfs|indegree   (required)
+//   --algo=pagerank|pagerank_delta|bfs|cc|sssp|multibfs|indegree (required)
+//                       (pagerank_delta: residual messages; converges on its
+//                       own below GPSA_DELTA_EPS. Engine-wide: GPSA_EXEC=
+//                       worklist|sweep selects active-bitmap vs full-scan
+//                       dispatch, worklist is the default)
 //   --engine=gpsa|graphchi|xstream|cluster|reference (default gpsa)
 //   --graph=PATH        load a graph file instead of generating
 //   --format=edges|adjacency|binary (text formats; default edges)
@@ -28,6 +32,7 @@
 #include "apps/degree_count.hpp"
 #include "apps/multi_bfs.hpp"
 #include "apps/pagerank.hpp"
+#include "apps/pagerank_delta.hpp"
 #include "apps/reference.hpp"
 #include "apps/sssp.hpp"
 #include "baselines/graphchi/psw_engine.hpp"
@@ -87,6 +92,10 @@ std::unique_ptr<Program> make_program(const Config& config,
     return std::make_unique<PageRankProgram>(
         static_cast<std::uint64_t>(config.get_int("iterations", 20)));
   }
+  if (algo == "pagerank_delta") {
+    return std::make_unique<PageRankDeltaProgram>(
+        static_cast<std::uint64_t>(config.get_int("iterations", 100)));
+  }
   if (algo == "bfs") {
     return std::make_unique<BfsProgram>(root);
   }
@@ -110,7 +119,7 @@ void print_top(const std::vector<Payload>& values, const std::string& algo,
                int top) {
   std::vector<VertexId> order(values.size());
   std::iota(order.begin(), order.end(), 0U);
-  const bool float_valued = algo == "pagerank";
+  const bool float_valued = algo == "pagerank" || algo == "pagerank_delta";
   const bool lower_is_better = algo == "bfs" || algo == "sssp";
   std::partial_sort(
       order.begin(),
@@ -146,8 +155,8 @@ int main(int argc, char** argv) {
   const auto program = make_program(config, algo);
   if (program == nullptr) {
     std::fprintf(stderr,
-                 "usage: gpsa_cli --algo=pagerank|bfs|cc|sssp|multibfs|"
-                 "indegree [options]\n(see the header of "
+                 "usage: gpsa_cli --algo=pagerank|pagerank_delta|bfs|cc|"
+                 "sssp|multibfs|indegree [options]\n(see the header of "
                  "examples/gpsa_cli.cpp for the full list)\n");
     return 2;
   }

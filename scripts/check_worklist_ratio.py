@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate on the worklist ablation: on the BFS frontier *tail* — the
+supersteps after the frontier peak, where only a shrinking set of
+vertices is active — worklist dispatch must touch at least `min_ratio`
+times fewer CSR entries + vertex checks than the sweep. The tail is
+where the sweep's O(V) per-superstep walk is pure waste; mid-run
+supersteps, where most of the graph is active, are identical in both
+modes and would dilute a whole-run ratio on a low-diameter graph.
+
+Both modes must also produce bit-identical results over the identical
+superstep count — the active bitmap's contract is that a set bit is
+exactly a clear stale flag, so any divergence in results, superstep
+count, message count, or dispatched-vertex count is a correctness bug,
+not a performance miss.
+
+The COST-style single-thread reference time is reported for context: if
+the worklist engine is slower than the plain sequential for-loop, the
+parallel scheduling overhead has outgrown the work (McSherry et al.) —
+flagged loudly but not gated, since CI machines vary in core count.
+
+Usage: check_worklist_ratio.py <bench_ablation_worklist.json> <min_ratio>
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    min_ratio = float(sys.argv[2])
+
+    cells = {cell["exec"]: cell for cell in report["cells"]}
+    sweep = cells.get("sweep")
+    worklist = cells.get("worklist")
+    if sweep is None or worklist is None:
+        print("missing sweep or worklist cell in report", file=sys.stderr)
+        return 1
+
+    failed = False
+    if not report.get("results_identical", False):
+        print("FAIL: sweep and worklist produced different results",
+              file=sys.stderr)
+        failed = True
+    if not report.get("reference_identical", False):
+        print("FAIL: worklist diverged from the single-thread reference",
+              file=sys.stderr)
+        failed = True
+    for key in ("supersteps", "messages", "active"):
+        if sweep[key] != worklist[key]:
+            print(f"FAIL: {key} differ: sweep={sweep[key]} "
+                  f"worklist={worklist[key]}", file=sys.stderr)
+            failed = True
+
+    if worklist["edges_touched"] <= 0:
+        print("FAIL: worklist touched zero edges", file=sys.stderr)
+        return 1
+    total_ratio = sweep["edges_touched"] / worklist["edges_touched"]
+    print(f"edges touched (whole run): sweep={sweep['edges_touched']} "
+          f"worklist={worklist['edges_touched']} ratio={total_ratio:.2f} "
+          f"(informational)")
+
+    # Gated metric: the frontier tail. Both modes dispatch the same
+    # vertices, so the per-superstep active series is shared; the tail
+    # is every superstep after the frontier peak.
+    active_series = sweep.get("superstep_active", [])
+    if active_series != worklist.get("superstep_active", []):
+        print("FAIL: per-superstep active series differ between modes",
+              file=sys.stderr)
+        failed = True
+    if not active_series:
+        print("FAIL: report has no per-superstep series", file=sys.stderr)
+        return 1
+    peak = active_series.index(max(active_series))
+    sweep_tail = sum(sweep["superstep_edges"][peak + 1:])
+    worklist_tail = sum(worklist["superstep_edges"][peak + 1:])
+    if worklist_tail <= 0:
+        print("FAIL: no frontier tail after the peak (superstep "
+              f"{peak} of {len(active_series)}) — graph too small or "
+              "run did not converge", file=sys.stderr)
+        return 1
+    tail_ratio = sweep_tail / worklist_tail
+    print(f"edges touched (tail, supersteps {peak + 1}.."
+          f"{len(active_series) - 1}): sweep={sweep_tail} "
+          f"worklist={worklist_tail} ratio={tail_ratio:.2f} "
+          f"(need >= {min_ratio})")
+    if tail_ratio < min_ratio:
+        print("FAIL: worklist did not reduce tail touched edges enough",
+              file=sys.stderr)
+        failed = True
+
+    reference = report.get("reference_seconds", 0.0)
+    if reference > 0 and worklist["seconds"] > reference:
+        print(f"WARNING: worklist engine ({worklist['seconds']:.4f}s) is "
+              f"slower than the single-thread reference ({reference:.4f}s) "
+              f"— COST check (not gated)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

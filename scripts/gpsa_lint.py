@@ -11,6 +11,13 @@ express and clang-tidy does not know about:
                    src/storage/slot.hpp. The two-column slot protocol is
                    centralized there so its ordering contract has exactly
                    one implementation.
+  bitmap-atomic-ref
+                   std::atomic_ref<...BitmapWord...> construction outside
+                   src/storage/slot.hpp. The active-bitmap publication
+                   protocol (computers OR bits in, dispatchers read and
+                   clear between supersteps) lives next to the slot
+                   helpers so both halves of the bit<=>stale-flag
+                   invariant share one audited ordering contract.
   locked-notify    cv.notify_one/notify_all outside a held lock, in files
                    that opt into the locked-notify protocol with a
                    `// gpsa-lint: locked-notify` marker. Those files pair
@@ -70,6 +77,8 @@ MEMORY_ORDER_ALLOWED = (
 
 SLOT_ATOMIC_REF_ALLOWED = ("src/storage/slot.hpp",)
 
+BITMAP_ATOMIC_REF_ALLOWED = ("src/storage/slot.hpp",)
+
 RAW_IO_ALLOWED = (
     "src/platform/",
     "src/io/",
@@ -81,14 +90,16 @@ MSG_BUFFER_ALLOC_ALLOWED = (
     "src/core/message_pool.cpp",
 )
 
-RULES = ("memory-order", "slot-atomic-ref", "locked-notify", "check-macro",
-         "raw-io", "msg-buffer-alloc")
+RULES = ("memory-order", "slot-atomic-ref", "bitmap-atomic-ref",
+         "locked-notify", "check-macro", "raw-io", "msg-buffer-alloc")
 
 MARKER_RE = re.compile(r"//\s*gpsa-lint:\s*locked-notify\b")
 ALLOW_RE = re.compile(r"//\s*gpsa-lint:\s*allow\(([a-z-]+)\)")
 
 MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+")
 SLOT_ATOMIC_REF_RE = re.compile(r"\bstd::atomic_ref<[^<>;(){}]*\bSlot\b")
+BITMAP_ATOMIC_REF_RE = re.compile(
+    r"\bstd::atomic_ref<[^<>;(){}]*\bBitmapWord\b")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 RAW_IO_RE = re.compile(
     r"(?<![\w.>])(mmap|munmap|pread|pwrite|madvise|posix_fadvise)\s*\(")
@@ -315,6 +326,14 @@ def lint_file(path: Path, rel: str):
                 "slot-atomic-ref", line_of(stripped, m.start()),
                 "direct atomic_ref over Slot storage; use the "
                 "slot_load/store/consume helpers in src/storage/slot.hpp")
+
+    if not path_exempt(rel, BITMAP_ATOMIC_REF_ALLOWED):
+        for m in BITMAP_ATOMIC_REF_RE.finditer(stripped):
+            yield from emit(
+                "bitmap-atomic-ref", line_of(stripped, m.start()),
+                "direct atomic_ref over active-bitmap words; use the "
+                "bitmap_word_load/set/clear helpers in "
+                "src/storage/slot.hpp")
 
     if MARKER_RE.search(text):
         for line, message in check_locked_notify(stripped):

@@ -22,6 +22,7 @@ FIXTURES = ROOT / "tests" / "lint_fixtures"
 EXPECTED = {
     "bad_memory_order.cpp": ("memory-order", 7),
     "bad_slot_atomic_ref.cpp": ("slot-atomic-ref", 9),
+    "bad_bitmap_atomic_ref.cpp": ("bitmap-atomic-ref", 9),
     "bad_locked_notify.cpp": ("locked-notify", 22),
     "bad_assert.cpp": ("check-macro", 7),
     "bad_raw_io.cpp": ("raw-io", 6),

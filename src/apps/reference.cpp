@@ -31,6 +31,13 @@ ReferenceResult reference_run(const Csr& graph, const Program& program,
   std::vector<Payload> accumulator(n, 0);
   std::vector<char> touched(n, 0);
   std::vector<VertexId> touched_list;
+  // Delta programs (Program::delta_messages): dispatch the change since
+  // the vertex's previous dispatch instead of the absolute value.
+  const bool delta = program.delta_messages();
+  std::vector<Payload> last_sent;
+  if (delta) {
+    last_sent.assign(n, Payload{0});
+  }
 
   for (std::uint64_t s = 0; s < budget; ++s) {
     std::uint64_t messages = 0;
@@ -39,7 +46,12 @@ ReferenceResult reference_run(const Csr& graph, const Program& program,
       if (!active[src]) {
         continue;
       }
-      const Payload value = out.values[src];
+      Payload value = out.values[src];
+      if (delta) {
+        const Payload current = value;
+        value = program.delta(current, last_sent[src]);
+        last_sent[src] = current;
+      }
       const auto degree =
           static_cast<std::uint32_t>(graph.out_degree(src));
       for (VertexId dst : graph.neighbors(src)) {

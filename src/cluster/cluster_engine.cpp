@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <filesystem>
 #include <future>
 #include <limits>
@@ -14,6 +15,7 @@
 #include "core/messages.hpp"
 #include "core/ownership.hpp"
 #include "graph/csr.hpp"
+#include "storage/active_bitmap.hpp"
 #include "storage/slot.hpp"
 #include "storage/value_file.hpp"
 #include "util/check.hpp"
@@ -38,6 +40,14 @@ struct NodeState {
   std::vector<Slot> columns[2];
   std::vector<std::uint8_t> latest;
   std::optional<ValueFile> file;
+  /// Worklist mode: node-local active bitmap over [0, end-begin). The
+  /// node's computer publishes activations (local index, update column's
+  /// generation); the node's dispatcher drains and clears. Activation
+  /// state never crosses nodes — the message itself carries it.
+  std::optional<ActiveBitmap> worklist;
+  /// Delta programs: per-local-vertex value as of its last dispatch
+  /// (written only by this node's dispatcher). Empty otherwise.
+  std::vector<Payload> last_sent;
 
   void init(VertexId begin_vertex, VertexId end_vertex,
             const Program& program, VertexId num_vertices) {
@@ -164,6 +174,8 @@ class ClusterDispatcher final : public Actor<DispatcherMsg> {
 
  private:
   void run_iteration(std::uint64_t superstep);
+  /// Generates and stages one active vertex's out-messages.
+  void dispatch_vertex(VertexId v, Payload value, std::uint64_t superstep);
   void flush(std::size_t node, std::uint64_t superstep);
 
   const std::uint32_t node_;
@@ -208,6 +220,13 @@ class ClusterManager final : public Actor<ManagerMsg> {
     }
     switch (msg.kind) {
       case ManagerMsg::Kind::kStartRun:
+        // A zero budget means zero supersteps. Without this check the
+        // first superstep would run before kComputeOver's budget test —
+        // the off-by-one the single-machine manager already guards.
+        if (budget_ == 0) {
+          finish(/*converged=*/false);
+          break;
+        }
         start_superstep();
         break;
       case ManagerMsg::Kind::kDispatchOver:
@@ -322,6 +341,11 @@ void ClusterComputer::apply(const VertexMessage& message,
     state_.latest[v - state_.begin] = static_cast<std::uint8_t>(update_col);
     if (updated) {
       ++updates_this_superstep_;
+      // Bit and stale flag publish together (the same lock-step as the
+      // single-machine ComputerActor::apply).
+      if (state_.worklist.has_value()) {
+        state_.worklist->set(v - state_.begin, update_col);
+      }
     }
     return;
   }
@@ -345,26 +369,39 @@ void ClusterDispatcher::on_message(DispatcherMsg msg) {
 void ClusterDispatcher::run_iteration(std::uint64_t superstep) {
   messages_this_superstep_ = 0;
   const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
-  for (VertexId v = state_.begin; v < state_.end; ++v) {
-    const Slot slot = state_.load(v, dispatch_col);
-    if (slot_is_stale(slot)) {
-      continue;
-    }
-    const Payload value = slot_payload(slot);
-    const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
-    for (VertexId dst : graph_.neighbors(v)) {
-      const Payload message = program_.gen_msg(v, dst, value, degree);
-      const unsigned owner = owners_.owner_of(dst);
-      staging_[owner].push_back(VertexMessage{dst, message});
-      ++messages_this_superstep_;
-      if (owner != node_) {
-        ++remote_messages_;
+  if (state_.worklist.has_value()) {
+    // Worklist: only the set bits of the dispatch generation, O(active).
+    ActiveBitmap& wl = *state_.worklist;
+    const VertexId local_size = state_.end - state_.begin;
+    if (local_size > 0) {
+      const std::size_t last = ActiveBitmap::word_index(local_size - 1);
+      for (std::size_t w = 0; w <= last; ++w) {
+        BitmapWord bits = wl.word(dispatch_col, w) &
+                          ActiveBitmap::range_mask(w, 0, local_size);
+        while (bits != 0) {
+          const unsigned bit =
+              static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const VertexId v = state_.begin +
+                             static_cast<VertexId>(w) * kBitmapWordBits + bit;
+          const Slot slot = state_.load(v, dispatch_col);
+          GPSA_DCHECK(!slot_is_stale(slot));
+          dispatch_vertex(v, slot_payload(slot), superstep);
+          state_.consume(v, dispatch_col);
+        }
       }
-      if (staging_[owner].size() >= batch_size_) {
-        flush(owner, superstep);
-      }
+      wl.clear_range(dispatch_col, 0, local_size);
     }
-    state_.consume(v, dispatch_col);
+  } else {
+    // Sweep: every owned vertex, skipping stale slots, O(local size).
+    for (VertexId v = state_.begin; v < state_.end; ++v) {
+      const Slot slot = state_.load(v, dispatch_col);
+      if (slot_is_stale(slot)) {
+        continue;
+      }
+      dispatch_vertex(v, slot_payload(slot), superstep);
+      state_.consume(v, dispatch_col);
+    }
   }
   for (std::size_t node = 0; node < staging_.size(); ++node) {
     flush(node, superstep);
@@ -376,6 +413,30 @@ void ClusterDispatcher::run_iteration(std::uint64_t superstep) {
   done.worker_id = node_;
   done.count = messages_this_superstep_;
   manager_->send(std::move(done));
+}
+
+void ClusterDispatcher::dispatch_vertex(VertexId v, Payload value,
+                                        std::uint64_t superstep) {
+  if (!state_.last_sent.empty()) {
+    // Delta program: hand gen_msg the change since v's last dispatch, not
+    // the absolute value (this dispatcher is the plane's single writer).
+    const Payload current = value;
+    value = program_.delta(current, state_.last_sent[v - state_.begin]);
+    state_.last_sent[v - state_.begin] = current;
+  }
+  const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
+  for (VertexId dst : graph_.neighbors(v)) {
+    const Payload message = program_.gen_msg(v, dst, value, degree);
+    const unsigned owner = owners_.owner_of(dst);
+    staging_[owner].push_back(VertexMessage{dst, message});
+    ++messages_this_superstep_;
+    if (owner != node_) {
+      ++remote_messages_;
+    }
+    if (staging_[owner].size() >= batch_size_) {
+      flush(owner, superstep);
+    }
+  }
 }
 
 void ClusterDispatcher::flush(std::size_t node, std::uint64_t superstep) {
@@ -447,6 +508,7 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
     }
   }
 
+  const ExecMode exec = resolve_exec_mode(options.exec);
   std::vector<NodeState> states(nodes);
   for (unsigned node = 0; node < nodes; ++node) {
     if (backend != nullptr) {
@@ -458,6 +520,21 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
     } else {
       states[node].init(intervals[node].begin_vertex,
                         intervals[node].end_vertex, program, n);
+    }
+    NodeState& state = states[node];
+    const VertexId local_size = state.end - state.begin;
+    if (exec == ExecMode::kWorklist) {
+      // Seed generation 0 (superstep 0's dispatch column) from the
+      // freshly initialized stale flags.
+      state.worklist.emplace(local_size);
+      for (VertexId v = state.begin; v < state.end; ++v) {
+        if (!slot_is_stale(state.load(v, 0))) {
+          state.worklist->set(v - state.begin, 0);
+        }
+      }
+    }
+    if (program.delta_messages()) {
+      state.last_sent.assign(local_size, Payload{0});
     }
   }
 

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <optional>
 #include <string>
 
+#include "core/exec_mode.hpp"
 #include "core/program.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/partition.hpp"
@@ -48,6 +50,12 @@ struct ClusterOptions {
   std::string value_store_dir;
   /// Storage I/O configuration for the per-node value files (src/io/).
   IoOptions io;
+  /// How each node's dispatcher finds its active vertices. Unset follows
+  /// GPSA_EXEC (default worklist; see EngineOptions::exec). Each node
+  /// keeps its own node-local bitmap — on a real deployment no activation
+  /// state crosses the network, because a remote message already carries
+  /// the activation.
+  std::optional<ExecMode> exec;
 };
 
 struct ClusterRunResult {

@@ -9,12 +9,13 @@ namespace gpsa {
 ComputerActor::ComputerActor(std::uint32_t id, ValueFile& values,
                              const Program& program,
                              std::vector<std::uint8_t>& latest_column,
-                             MessageBatchPool& pool)
+                             MessageBatchPool& pool, ActiveBitmap* worklist)
     : id_(id),
       values_(values),
       program_(program),
       latest_column_(latest_column),
-      pool_(pool) {}
+      pool_(pool),
+      worklist_(worklist) {}
 
 void ComputerActor::connect(ManagerActor* manager) {
   GPSA_CHECK(manager != nullptr);
@@ -81,6 +82,14 @@ void ComputerActor::apply(const VertexMessage& message,
     ++touches_total_;
     if (updated) {
       ++updates_this_superstep_;
+      // Activation publishes to the bitmap in lock-step with the stale
+      // flag: this branch is the only store of a non-stale slot into a
+      // freshly-invalidated column, so "bit set in generation g" <=>
+      // "column g's flag clear" — worklist dispatch reads exactly the
+      // sweep's active set.
+      if (worklist_ != nullptr) {
+        worklist_->set(v, update_col);
+      }
     }
     return;
   }

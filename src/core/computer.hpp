@@ -30,6 +30,7 @@
 #include "core/message_pool.hpp"
 #include "core/messages.hpp"
 #include "core/program.hpp"
+#include "storage/active_bitmap.hpp"
 #include "storage/value_file.hpp"
 
 namespace gpsa {
@@ -38,9 +39,14 @@ class ManagerActor;
 
 class ComputerActor final : public Actor<ComputerMsg> {
  public:
+  /// `worklist` (nullptr in sweep mode) receives the activation bit for
+  /// every vertex this actor updates: set in the update column's
+  /// generation inside the same first-update branch that clears the
+  /// slot's stale flag, so bit and flag can never disagree (the
+  /// bit-identical-results invariant, DESIGN.md §12).
   ComputerActor(std::uint32_t id, ValueFile& values, const Program& program,
                 std::vector<std::uint8_t>& latest_column,
-                MessageBatchPool& pool);
+                MessageBatchPool& pool, ActiveBitmap* worklist = nullptr);
 
   void connect(ManagerActor* manager);
 
@@ -67,6 +73,8 @@ class ComputerActor final : public Actor<ComputerMsg> {
   /// entry v is only ever written by the computer owning v.
   std::vector<std::uint8_t>& latest_column_;
   MessageBatchPool& pool_;
+  /// Worklist mode's active bitmap; nullptr = sweep mode.
+  ActiveBitmap* const worklist_;
 
   ManagerActor* manager_ = nullptr;
   std::uint64_t updates_this_superstep_ = 0;

@@ -1,6 +1,7 @@
 #include "core/dispatcher.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/computer.hpp"
 #include "core/manager.hpp"
@@ -16,7 +17,9 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
                                  ValueFile& values, const Program& program,
                                  const OwnerMap& owners,
                                  MessageBatchPool& pool,
-                                 std::size_t batch_size, Behavior behavior)
+                                 std::size_t batch_size, Behavior behavior,
+                                 ActiveBitmap* worklist,
+                                 std::vector<Payload>* last_sent)
     : id_(id),
       interval_(interval),
       csr_(csr),
@@ -27,8 +30,15 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
       owners_(owners),
       pool_(pool),
       batch_size_(batch_size),
-      behavior_(behavior) {
+      behavior_(behavior),
+      worklist_(worklist),
+      last_sent_(last_sent) {
   GPSA_CHECK(batch_size_ > 0);
+  // dispatch_inactive forces vertices the bitmap never lists; the engine
+  // rejects the combination up front (engine.cpp), this guards spawns that
+  // bypass it.
+  GPSA_CHECK(worklist_ == nullptr || !behavior_.dispatch_inactive);
+  has_degree_ = csr_.has_degree();
 }
 
 void DispatcherActor::connect(std::vector<ComputerActor*> computers,
@@ -111,17 +121,41 @@ void DispatcherActor::on_message(DispatcherMsg msg) {
 void DispatcherActor::run_iteration(std::uint64_t superstep) {
   const ScopedAccumulator busy(busy_seconds_);
   messages_this_superstep_ = 0;
+  dispatched_this_superstep_ = 0;
+  entries_this_superstep_ = 0;
+  checks_this_superstep_ = 0;
   const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
-  const bool has_degree = csr_.has_degree();
-  const auto offsets = csr_.record_offsets();
 
   readahead_.begin_superstep();
 
+  if (worklist_ != nullptr) {
+    run_worklist(superstep, dispatch_col);
+  } else {
+    run_sweep(superstep, dispatch_col);
+  }
+  flush_all(superstep);
+  messages_sent_total_ += messages_this_superstep_;
+  vertex_checks_total_ += checks_this_superstep_;
+  entries_read_total_ += entries_this_superstep_;
+
+  ManagerMsg done;
+  done.kind = ManagerMsg::Kind::kDispatchOver;
+  done.superstep = superstep;
+  done.worker_id = id_;
+  done.count = messages_this_superstep_;
+  done.active = dispatched_this_superstep_;
+  done.edges = entries_this_superstep_ + checks_this_superstep_;
+  manager_->send(done);
+}
+
+void DispatcherActor::run_sweep(std::uint64_t superstep,
+                                unsigned dispatch_col) {
+  const auto offsets = csr_.record_offsets();
   // Algorithm 2: stream the interval's records in id order, driven by the
   // entry cursor (`curoff`), skipping stale vertices. Record bytes come
   // through the I/O backend's stream; the reader only supplies offsets.
   std::uint64_t cursor = interval_.begin_entry;
-  vertex_checks_total_ += interval_.vertex_count();
+  checks_this_superstep_ += interval_.vertex_count();
   for (VertexId v = interval_.begin_vertex; v < interval_.end_vertex; ++v) {
     GPSA_DCHECK(cursor == offsets[v]);
     readahead_.advance(cursor, v);
@@ -130,88 +164,134 @@ void DispatcherActor::run_iteration(std::uint64_t superstep) {
       cursor = offsets[v + 1];  // skip(sequence)
       continue;
     }
-    const std::uint64_t record_entries = offsets[v + 1] - cursor;
-    entries_read_total_ += record_entries;
-    const std::int32_t* record = stream_.fetch_record(cursor, record_entries);
+    dispatch_vertex(v, slot_payload(slot), cursor, offsets[v + 1], superstep);
     cursor = offsets[v + 1];
-    const Payload value = slot_payload(slot);
-    std::uint64_t i = 0;
-    std::uint32_t degree;
-    if (has_degree) {
-      degree = static_cast<std::uint32_t>(record[i++]);
-    } else {
-      degree = static_cast<std::uint32_t>(record_entries - 1);
-    }
-    // Uniform-message programs (PageRank, BFS, CC) pay gen_msg's virtual
-    // call and arithmetic once per vertex, not once per out-edge; the
-    // first destination is passed only for interface symmetry.
-    Payload uniform_value = 0;
-    if (uniform_message_ && record[i] != kCsrEndOfList) {
-      uniform_value = program_.gen_msg(
-          v, static_cast<VertexId>(record[i]), value, degree);
-    }
-    while (record[i] != kCsrEndOfList) {
-      const VertexId dst = static_cast<VertexId>(record[i]);
-      ++i;
-      const Payload message =
-          uniform_message_ ? uniform_value
-                           : program_.gen_msg(v, dst, value, degree);
-      const std::size_t owner = owners_.owner_of(dst);
-      if (combining_) {
-        const VertexId local =
-            owners_.local_index(dst, static_cast<unsigned>(owner));
-        std::uint64_t& entry = combine_slots_[owner][local];
-        // The entry's low half is the pending message's staging position
-        // + 1: its index in the owner's destination bin under range
-        // staging, in the flat staging buffer under mod.
-        std::vector<VertexMessage>& stage =
-            range_staging_
-                ? bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
-                : staging_[owner];
-        if ((entry >> 32) == combine_gen_[owner]) {
-          VertexMessage& pending =
-              stage[static_cast<std::uint32_t>(entry) - 1];
-          pending.value = program_.combine(pending.value, message);
-        } else {
-          entry = (combine_gen_[owner] << 32) |
-                  static_cast<std::uint32_t>(stage.size() + 1);
-          stage.push_back(VertexMessage{dst, message});
-          if (range_staging_) {
-            ++staged_count_[owner];
-          }
-          ++messages_this_superstep_;
-        }
-      } else if (range_staging_) {
-        // Bin-bucketed staging: land the message directly in its radix
-        // bin while dst is in registers; the flush then only needs
-        // sequential copies to emit an ascending-dst batch.
-        const VertexId local =
-            owners_.local_index(dst, static_cast<unsigned>(owner));
-        bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
-            .push_back(VertexMessage{dst, message});
-        ++staged_count_[owner];
-        ++messages_this_superstep_;
-      } else {
-        staging_[owner].push_back(VertexMessage{dst, message});
-        ++messages_this_superstep_;
-      }
-      if (behavior_.overlap && staged_size(owner) >= batch_size_) {
-        flush_batch(owner, superstep);
-      }
-    }
     // Consume: "after a dispatcher finishes processing, it will invalidate
     // the value of the current vertex by setting its highest bit to 1".
     values_.consume(v, dispatch_col);
   }
-  flush_all(superstep);
-  messages_sent_total_ += messages_this_superstep_;
+}
 
-  ManagerMsg done;
-  done.kind = ManagerMsg::Kind::kDispatchOver;
-  done.superstep = superstep;
-  done.worker_id = id_;
-  done.count = messages_this_superstep_;
-  manager_->send(done);
+void DispatcherActor::run_worklist(std::uint64_t superstep,
+                                   unsigned dispatch_col) {
+  if (interval_.begin_vertex >= interval_.end_vertex) {
+    return;
+  }
+  const auto offsets = csr_.record_offsets();
+  // Word-scan the interval's slice of the dispatch generation: countr_zero
+  // walks each word's set bits in ascending vertex order (matching the
+  // sweep's dispatch order), popcount sizes the batch for the counters.
+  const std::size_t first = ActiveBitmap::word_index(interval_.begin_vertex);
+  const std::size_t last = ActiveBitmap::word_index(interval_.end_vertex - 1);
+  for (std::size_t w = first; w <= last; ++w) {
+    BitmapWord bits =
+        worklist_->word(dispatch_col, w) &
+        ActiveBitmap::range_mask(w, interval_.begin_vertex,
+                                 interval_.end_vertex);
+    checks_this_superstep_ += static_cast<std::uint64_t>(std::popcount(bits));
+    while (bits != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const auto v =
+          static_cast<VertexId>(w * kBitmapWordBits + bit);
+      const std::uint64_t cursor = offsets[v];
+      readahead_.advance(cursor, v);
+      const Slot slot = values_.load(v, dispatch_col);
+      // Bitmap/stale-flag equivalence (DESIGN.md §12): a set bit means the
+      // owning computer stored this column non-stale last superstep.
+      GPSA_DCHECK(!slot_is_stale(slot));
+      dispatch_vertex(v, slot_payload(slot), cursor, offsets[v + 1],
+                      superstep);
+      values_.consume(v, dispatch_col);
+    }
+  }
+  // Retire the consumed generation before the next superstep's computers
+  // re-publish into it (the manager barrier orders the two); boundary
+  // words are mask-cleared, so the neighbouring dispatcher keeps its bits.
+  worklist_->clear_range(dispatch_col, interval_.begin_vertex,
+                         interval_.end_vertex);
+}
+
+void DispatcherActor::dispatch_vertex(VertexId v, Payload value,
+                                      std::uint64_t begin_entry,
+                                      std::uint64_t end_entry,
+                                      std::uint64_t superstep) {
+  const std::uint64_t record_entries = end_entry - begin_entry;
+  entries_this_superstep_ += record_entries;
+  ++dispatched_this_superstep_;
+  const std::int32_t* record =
+      stream_.fetch_record(begin_entry, record_entries);
+  if (last_sent_ != nullptr) {
+    // Delta programming: the message carries the change since this
+    // vertex's previous dispatch, and the plane records what was sent.
+    const Payload current = value;
+    value = program_.delta(current, (*last_sent_)[v]);
+    (*last_sent_)[v] = current;
+  }
+  std::uint64_t i = 0;
+  std::uint32_t degree;
+  if (has_degree_) {
+    degree = static_cast<std::uint32_t>(record[i++]);
+  } else {
+    degree = static_cast<std::uint32_t>(record_entries - 1);
+  }
+  // Uniform-message programs (PageRank, BFS, CC) pay gen_msg's virtual
+  // call and arithmetic once per vertex, not once per out-edge; the
+  // first destination is passed only for interface symmetry.
+  Payload uniform_value = 0;
+  if (uniform_message_ && record[i] != kCsrEndOfList) {
+    uniform_value = program_.gen_msg(
+        v, static_cast<VertexId>(record[i]), value, degree);
+  }
+  while (record[i] != kCsrEndOfList) {
+    const VertexId dst = static_cast<VertexId>(record[i]);
+    ++i;
+    const Payload message =
+        uniform_message_ ? uniform_value
+                         : program_.gen_msg(v, dst, value, degree);
+    const std::size_t owner = owners_.owner_of(dst);
+    if (combining_) {
+      const VertexId local =
+          owners_.local_index(dst, static_cast<unsigned>(owner));
+      std::uint64_t& entry = combine_slots_[owner][local];
+      // The entry's low half is the pending message's staging position
+      // + 1: its index in the owner's destination bin under range
+      // staging, in the flat staging buffer under mod.
+      std::vector<VertexMessage>& stage =
+          range_staging_
+              ? bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
+              : staging_[owner];
+      if ((entry >> 32) == combine_gen_[owner]) {
+        VertexMessage& pending =
+            stage[static_cast<std::uint32_t>(entry) - 1];
+        pending.value = program_.combine(pending.value, message);
+      } else {
+        entry = (combine_gen_[owner] << 32) |
+                static_cast<std::uint32_t>(stage.size() + 1);
+        stage.push_back(VertexMessage{dst, message});
+        if (range_staging_) {
+          ++staged_count_[owner];
+        }
+        ++messages_this_superstep_;
+      }
+    } else if (range_staging_) {
+      // Bin-bucketed staging: land the message directly in its radix
+      // bin while dst is in registers; the flush then only needs
+      // sequential copies to emit an ascending-dst batch.
+      const VertexId local =
+          owners_.local_index(dst, static_cast<unsigned>(owner));
+      bins_[owner * kRadixBins + (local >> radix_shift_[owner])]
+          .push_back(VertexMessage{dst, message});
+      ++staged_count_[owner];
+      ++messages_this_superstep_;
+    } else {
+      staging_[owner].push_back(VertexMessage{dst, message});
+      ++messages_this_superstep_;
+    }
+    if (behavior_.overlap && staged_size(owner) >= batch_size_) {
+      flush_batch(owner, superstep);
+    }
+  }
 }
 
 void DispatcherActor::flush_batch(std::size_t computer_index,

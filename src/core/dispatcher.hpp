@@ -1,14 +1,25 @@
 // Dispatching actor (paper §V.D, Algorithm 2).
 //
 // Owns one vertex interval of the memory-mapped CSR file. On
-// ITERATION_START it streams its interval's records: vertices whose
-// dispatch-column stale flag is set are skipped; active vertices have one
+// ITERATION_START it walks its interval's active vertices: each has one
 // message generated per out-edge via Program::gen_msg, routed to the
 // computing actor that owns the destination (OwnerMap: contiguous vertex
 // ranges by default, dst mod computer-count as the ablation baseline) in
-// batches, and are then consumed (flag re-set to 1). When the interval is
-// exhausted it reports DISPATCH_OVER with its message count and waits for
-// the next command.
+// batches, and is then consumed (flag re-set to 1). When the interval is
+// exhausted it reports DISPATCH_OVER with its message/active/edge counts
+// and waits for the next command.
+//
+// Two ways to find the active vertices (core/exec_mode.hpp):
+//   sweep     stream every record in id order, skipping vertices whose
+//             dispatch-column stale flag is set — Algorithm 2 as written,
+//             O(interval) per superstep;
+//   worklist  scan the interval's words of the active bitmap's dispatch
+//             generation (countr_zero per set bit, popcount to count the
+//             batch), jump the entry cursor straight to offsets[v] for
+//             each set bit, and clear the interval's bits afterwards —
+//             O(active) per superstep. A set bit is exactly a clear stale
+//             flag, so the dispatched set (and therefore every result) is
+//             bit-identical to the sweep's (DESIGN.md §12).
 //
 // Message-plane mechanics (DESIGN.md §11):
 //   - batch buffers are leased from the engine's MessageBatchPool and
@@ -37,6 +48,7 @@
 #include "graph/partition.hpp"
 #include "io/csr_stream.hpp"
 #include "io/readahead.hpp"
+#include "storage/active_bitmap.hpp"
 #include "storage/value_file.hpp"
 
 namespace gpsa {
@@ -59,13 +71,18 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   /// `stream` carries the interval's record bytes (the reader supplies
   /// only metadata: offsets, degree flag); `readahead` runs the window
   /// policy over it and the value file. `owners` routes destinations and
-  /// `pool` supplies batch buffers. All references must outlive the actor.
+  /// `pool` supplies batch buffers. `worklist` selects the execution mode:
+  /// nullptr sweeps the interval, non-null iterates the bitmap's dispatch
+  /// generation. `last_sent` (non-null only for delta programs) is the
+  /// per-vertex last-dispatched-value plane; this dispatcher writes only
+  /// its own interval's entries. All references must outlive the actor.
   DispatcherActor(std::uint32_t id, Interval interval,
                   const CsrFileReader& csr, CsrEntryStream& stream,
                   ReadaheadScheduler& readahead, ValueFile& values,
                   const Program& program, const OwnerMap& owners,
                   MessageBatchPool& pool, std::size_t batch_size,
-                  Behavior behavior);
+                  Behavior behavior, ActiveBitmap* worklist = nullptr,
+                  std::vector<Payload>* last_sent = nullptr);
 
   /// Wiring is two-phase: computers and the manager are spawned after the
   /// dispatchers, then connected before the run starts. computers.size()
@@ -96,6 +113,13 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   static constexpr std::size_t kRadixBins = 256;
 
   void run_iteration(std::uint64_t superstep);
+  /// Algorithm 2's full interval scan (stale-flag skip per vertex).
+  void run_sweep(std::uint64_t superstep, unsigned dispatch_col);
+  /// Worklist mode: iterate + clear the bitmap's dispatch generation.
+  void run_worklist(std::uint64_t superstep, unsigned dispatch_col);
+  /// Streams one active vertex's record and stages its messages.
+  void dispatch_vertex(VertexId v, Payload value, std::uint64_t begin_entry,
+                       std::uint64_t end_entry, std::uint64_t superstep);
   void flush_batch(std::size_t computer_index, std::uint64_t superstep);
   void flush_all(std::uint64_t superstep);
   /// Concatenates `owner`'s staged bins (ascending, arrival order within
@@ -118,6 +142,12 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   MessageBatchPool& pool_;
   const std::size_t batch_size_;
   const Behavior behavior_;
+  /// Worklist mode's active bitmap; nullptr = sweep mode.
+  ActiveBitmap* const worklist_;
+  /// Delta programs' last-dispatched-value plane (engine-owned; this
+  /// dispatcher reads/writes only its interval's entries, so the
+  /// single-writer rule needs no synchronization). nullptr otherwise.
+  std::vector<Payload>* const last_sent_;
 
   std::vector<ComputerActor*> computers_;
   ManagerActor* manager_ = nullptr;
@@ -146,10 +176,17 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   bool range_staging_ = false;
   bool uniform_message_ = false;
   bool combining_ = false;
+  bool has_degree_ = false;
   std::uint64_t messages_this_superstep_ = 0;
   std::uint64_t messages_sent_total_ = 0;
   std::uint64_t entries_read_total_ = 0;
   std::uint64_t vertex_checks_total_ = 0;
+  // Per-superstep work-done counters reported in DISPATCH_OVER: vertices
+  // dispatched, record entries streamed, and vertex checks performed
+  // (sweep: the whole interval; worklist: only the set bits).
+  std::uint64_t dispatched_this_superstep_ = 0;
+  std::uint64_t entries_this_superstep_ = 0;
+  std::uint64_t checks_this_superstep_ = 0;
   double busy_seconds_ = 0.0;
 };
 

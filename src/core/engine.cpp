@@ -8,6 +8,7 @@
 #include "actor/actor_system.hpp"
 #include "core/computer.hpp"
 #include "core/dispatcher.hpp"
+#include "storage/active_bitmap.hpp"
 #include "graph/csr_file.hpp"
 #include "platform/file_util.hpp"
 #include "storage/recovery.hpp"
@@ -40,6 +41,34 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
     return invalid_argument("engine: graph has no vertices");
   }
 
+  // --- Execution mode (DESIGN.md §12). ------------------------------------
+  const ExecMode exec = resolve_exec_mode(options.exec);
+  if (exec == ExecMode::kWorklist && options.dispatch_inactive) {
+    return invalid_argument(
+        "engine: dispatch_inactive requires exec=sweep (the worklist only "
+        "enumerates active vertices; set EngineOptions::exec or "
+        "GPSA_EXEC=sweep)");
+  }
+  if (resume && program.delta_messages()) {
+    return failed_precondition(
+        "engine: cannot resume a delta program ('" + program.name() +
+        "'): the last-sent plane is not checkpointed, so re-dispatched "
+        "deltas would double-count");
+  }
+  // Generation g of the bitmap mirrors value column g: a bit set in g is
+  // exactly a clear stale flag in column g, so worklist dispatch touches
+  // the same vertex set a sweep would (the bit-identical invariant).
+  std::optional<ActiveBitmap> bitmap;
+  if (exec == ExecMode::kWorklist) {
+    bitmap.emplace(n);
+  }
+  // Delta programs: per-vertex value as of its last dispatch. Written only
+  // by the dispatcher owning the vertex's interval (single-writer).
+  std::optional<std::vector<Payload>> last_sent;
+  if (program.delta_messages()) {
+    last_sent.emplace(n, Payload{0});
+  }
+
   // --- Storage I/O subsystem (src/io/): backend + readahead config. ------
   GPSA_ASSIGN_OR_RETURN(const IoConfig io_config, options.io.resolve());
   GPSA_ASSIGN_OR_RETURN(const std::unique_ptr<IoBackend> backend,
@@ -62,6 +91,17 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
                           recover_value_file(values));
     std::fill(latest_column.begin(), latest_column.end(),
               static_cast<std::uint8_t>(report.valid_column));
+    if (bitmap.has_value()) {
+      // Rebuild the dispatch generation from the recovered stale flags
+      // (recovery re-activates the frontier in the dispatch column; the
+      // bitmap in the crashed process died with it).
+      const unsigned dcol = ValueFile::dispatch_column(report.resume_superstep);
+      for (VertexId v = 0; v < n; ++v) {
+        if (!slot_is_stale(values.load(v, dcol))) {
+          bitmap->set(v, dcol);
+        }
+      }
+    }
     // Values come from the file, but programs that cache per-graph
     // constants in init() (e.g. PageRank's teleport term) still need one
     // init call to see the vertex count.
@@ -78,6 +118,9 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
       values.store(v, d0, make_slot(st.value, /*stale=*/!st.active));
       values.store(v, u0, make_slot(st.value, /*stale=*/true));
       latest_column[v] = static_cast<std::uint8_t>(d0);
+      if (st.active && bitmap.has_value()) {
+        bitmap->set(v, d0);
+      }
     }
   }
 
@@ -136,12 +179,15 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
                                : default_worker_count();
   ActorSystem system(workers);
 
+  ActiveBitmap* const worklist = bitmap.has_value() ? &*bitmap : nullptr;
+  std::vector<Payload>* const last_sent_plane =
+      last_sent.has_value() ? &*last_sent : nullptr;
   std::vector<ComputerActor*> computers;
   computers.reserve(owners.parts());
   for (std::uint32_t c = 0; c < owners.parts(); ++c) {
-    computers.push_back(
-        system.spawn<ComputerActor>(c, std::ref(values), std::cref(program),
-                                    std::ref(latest_column), std::ref(pool)));
+    computers.push_back(system.spawn<ComputerActor>(
+        c, std::ref(values), std::cref(program), std::ref(latest_column),
+        std::ref(pool), worklist));
   }
   auto* manager = system.spawn<ManagerActor>(
       std::ref(values), budget, options.checkpoint_each_superstep,
@@ -156,7 +202,8 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
     dispatchers.push_back(system.spawn<DispatcherActor>(
         d, intervals[d], std::cref(csr), std::ref(*streams[d]),
         std::ref(*readaheads[d]), std::ref(values), std::cref(program),
-        std::cref(owners), std::ref(pool), options.message_batch, behavior));
+        std::cref(owners), std::ref(pool), options.message_batch, behavior,
+        worklist, last_sent_plane));
   }
   for (DispatcherActor* dispatcher : dispatchers) {
     dispatcher->connect(computers, manager);
@@ -189,6 +236,8 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
   out.superstep_seconds = mres.superstep_seconds;
   out.superstep_messages = mres.superstep_messages;
   out.superstep_updates = mres.superstep_updates;
+  out.superstep_active_vertices = mres.superstep_active;
+  out.superstep_edges_touched = mres.superstep_edges;
   out.values.resize(n);
   for (VertexId v = 0; v < n; ++v) {
     out.values[v] = slot_payload(values.load(v, latest_column[v]));
@@ -210,6 +259,7 @@ Result<RunResult> run_impl(CsrFileReader& csr, const Program& program,
   }
   out.pool = pool.stats();
   out.routing = routing;
+  out.exec = exec;
   out.working_set_bytes =
       csr.entry_file_bytes() + ValueFile::file_size(n) +
       (static_cast<std::uint64_t>(n) + 1) * sizeof(std::uint64_t);

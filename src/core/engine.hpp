@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_mode.hpp"
 #include "core/manager.hpp"
 #include "core/message_pool.hpp"
 #include "core/ownership.hpp"
@@ -89,6 +90,13 @@ struct EngineOptions {
   /// partitioner may produce fewer than num_computers non-empty slices;
   /// the engine then spawns exactly that many computers.
   std::optional<MessageRouting> routing;
+  /// How dispatchers find active vertices (core/exec_mode.hpp). Unset
+  /// follows GPSA_EXEC (default worklist: iterate the active bitmap's
+  /// dispatch generation, O(active) per superstep; sweep streams every
+  /// interval record, O(V), and is kept as the ablation baseline).
+  /// Results are bit-identical between modes. dispatch_inactive requires
+  /// sweep — the worklist never enumerates inactive vertices.
+  std::optional<ExecMode> exec;
 };
 
 struct RunResult {
@@ -101,6 +109,13 @@ struct RunResult {
   std::vector<double> superstep_seconds;
   std::vector<std::uint64_t> superstep_messages;
   std::vector<std::uint64_t> superstep_updates;
+  /// Vertices actually dispatched per superstep (the frontier size).
+  std::vector<std::uint64_t> superstep_active_vertices;
+  /// Work done per superstep: CSR record entries streamed plus one unit
+  /// per vertex examined. Sweep pays the O(V) offset walk every superstep
+  /// even on a one-vertex frontier; worklist pays O(active). The
+  /// worklist-vs-sweep CI gate compares the sums of this vector.
+  std::vector<std::uint64_t> superstep_edges_touched;
   /// Final payload per vertex (freshest column at quiescence).
   std::vector<Payload> values;
   /// Fundamental I/O volume of the run (metrics/io_model.hpp): CSR bytes
@@ -126,6 +141,8 @@ struct RunResult {
   MessagePoolStats pool;
   /// Routing the run actually used (after GPSA_ROUTING resolution).
   MessageRouting routing = MessageRouting::kRange;
+  /// Execution mode the run actually used (after GPSA_EXEC resolution).
+  ExecMode exec = ExecMode::kWorklist;
   /// Readahead window hit rate over every prefetch plane of the run
   /// (summed `prefetch` counters; 1.0 when no window activity occurred).
   double readahead_hit_rate = 1.0;

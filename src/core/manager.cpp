@@ -41,6 +41,8 @@ void ManagerActor::on_message(ManagerMsg msg) {
     case ManagerMsg::Kind::kDispatchOver:
       GPSA_CHECK(msg.superstep == superstep_);
       superstep_message_count_ += msg.count;
+      superstep_active_count_ += msg.active;
+      superstep_edges_count_ += msg.edges;
       if (++dispatch_acks_ == dispatchers_.size()) {
         // Every dispatcher's batches are already enqueued (they enqueue
         // before reporting), so the COMPUTE_OVER token lands behind them.
@@ -79,6 +81,8 @@ void ManagerActor::start_superstep() {
   compute_acks_ = 0;
   superstep_message_count_ = 0;
   superstep_update_count_ = 0;
+  superstep_active_count_ = 0;
+  superstep_edges_count_ = 0;
   superstep_timer_.reset();
   DispatcherMsg start;
   start.kind = DispatcherMsg::Kind::kIterationStart;
@@ -92,6 +96,8 @@ void ManagerActor::finish_superstep() {
   result_.superstep_seconds.push_back(superstep_timer_.elapsed_seconds());
   result_.superstep_messages.push_back(superstep_message_count_);
   result_.superstep_updates.push_back(superstep_update_count_);
+  result_.superstep_active.push_back(superstep_active_count_);
+  result_.superstep_edges.push_back(superstep_edges_count_);
   result_.total_messages += superstep_message_count_;
   result_.total_updates += superstep_update_count_;
   ++superstep_;

@@ -42,6 +42,12 @@ struct ManagerResult {
   std::vector<double> superstep_seconds;
   std::vector<std::uint64_t> superstep_messages;
   std::vector<std::uint64_t> superstep_updates;
+  /// Vertices actually dispatched per superstep (the frontier size).
+  std::vector<std::uint64_t> superstep_active;
+  /// CSR entries examined per superstep: streamed record entries plus one
+  /// per vertex check — sweep pays O(interval) checks every superstep,
+  /// worklist only O(active), which is exactly what this measures.
+  std::vector<std::uint64_t> superstep_edges;
 };
 
 class ManagerActor final : public Actor<ManagerMsg> {
@@ -83,6 +89,8 @@ class ManagerActor final : public Actor<ManagerMsg> {
   std::uint32_t compute_acks_ = 0;
   std::uint64_t superstep_message_count_ = 0;
   std::uint64_t superstep_update_count_ = 0;
+  std::uint64_t superstep_active_count_ = 0;
+  std::uint64_t superstep_edges_count_ = 0;
   WallTimer superstep_timer_;
 
   ManagerResult result_;

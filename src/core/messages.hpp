@@ -65,6 +65,13 @@ struct ManagerMsg {
   std::uint64_t superstep = 0;
   std::uint32_t worker_id = 0;
   std::uint64_t count = 0;
+  /// kDispatchOver only: vertices this dispatcher actually dispatched.
+  std::uint64_t active = 0;
+  /// kDispatchOver only: CSR entries the dispatcher examined — streamed
+  /// record entries plus one per vertex check, so the sweep's O(V)
+  /// per-superstep offset walk is visible next to the worklist's
+  /// O(active) (the work-done metric RunResult surfaces per superstep).
+  std::uint64_t edges = 0;
   std::string error;  // kWorkerFailed only
 };
 

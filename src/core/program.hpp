@@ -83,6 +83,27 @@ class Program {
     return std::numeric_limits<std::uint64_t>::max();
   }
 
+  // --- Optional delta programming (PagerankDelta, DESIGN.md §12) -----------
+  // A delta program's messages carry the *change* in a vertex's value
+  // since the last time that vertex dispatched, not the value itself. The
+  // dispatcher keeps a per-vertex last-sent plane (written only by the
+  // owning dispatcher, so no synchronization) and hands gen_msg
+  // delta(current, last_sent) in place of the raw value; `changed` is then
+  // typically gated on an epsilon (GPSA_DELTA_EPS) so sub-threshold
+  // residual growth stops re-activating the vertex and the run quiesces.
+
+  /// True when gen_msg expects delta(current, last_sent) instead of the
+  /// stored value. The engines then maintain the last-sent plane.
+  virtual bool delta_messages() const { return false; }
+
+  /// The change to propagate given the current stored value and the value
+  /// as of this vertex's previous dispatch (0 before the first dispatch).
+  /// Only called when delta_messages() is true.
+  virtual Payload delta(Payload current, Payload last_sent) const {
+    (void)last_sent;
+    return current;
+  }
+
   // --- Optional Pregel-style message combiner -------------------------------
   // When supported (and enabled via EngineOptions::enable_combiner), the
   // dispatcher merges messages bound for the same destination inside its

@@ -89,4 +89,47 @@ inline Slot slot_consume_relaxed(Slot& storage) {
                                                  std::memory_order_relaxed);
 }
 
+// --- Active-bitmap word protocol (worklist execution mode) --------------
+//
+// The worklist mode (storage/active_bitmap.hpp, DESIGN.md §12) mirrors the
+// two-column slot protocol with two generations of dense per-vertex bits:
+// a computing actor publishes "dispatch v next superstep" by setting v's
+// bit in the next generation, and dispatchers consume a generation by
+// iterating and then clearing their interval's bits. Bitmap words straddle
+// both computer ownership boundaries (concurrent set) and dispatcher
+// interval boundaries (concurrent masked clear), so word access is always
+// atomic. Relaxed ordering is sufficient for exactly the slot protocol's
+// reason: the superstep barrier's mailbox handoff provides the
+// happens-before between the setter's superstep and the reader's.
+//
+// Like the slot accessors above, these helpers are the ONE place that
+// constructs atomic_ref over BitmapWord storage; the gpsa-lint
+// `bitmap-atomic-ref` rule rejects direct construction anywhere else.
+
+using BitmapWord = std::uint64_t;
+
+inline constexpr unsigned kBitmapWordBits = 64;
+
+inline BitmapWord bitmap_word_load_relaxed(const BitmapWord& storage) {
+  return std::atomic_ref<const BitmapWord>(storage).load(
+      std::memory_order_relaxed);
+}
+
+/// Publishes bits (a computing actor activating vertices for the next
+/// generation). Returns the previous word.
+inline BitmapWord bitmap_word_set_relaxed(BitmapWord& storage,
+                                          BitmapWord bits) {
+  return std::atomic_ref<BitmapWord>(storage).fetch_or(
+      bits, std::memory_order_relaxed);
+}
+
+/// Clears the masked bits (a dispatcher retiring its interval's slice of a
+/// consumed generation; boundary words are shared with the neighbouring
+/// dispatcher's mask, hence fetch_and instead of a plain store).
+inline BitmapWord bitmap_word_clear_relaxed(BitmapWord& storage,
+                                            BitmapWord mask) {
+  return std::atomic_ref<BitmapWord>(storage).fetch_and(
+      ~mask, std::memory_order_relaxed);
+}
+
 }  // namespace gpsa

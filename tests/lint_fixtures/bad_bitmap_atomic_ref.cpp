@@ -1,0 +1,14 @@
+// Fixture: exactly one bitmap-atomic-ref finding (line 9).
+#include <atomic>
+#include <cstdint>
+
+using BitmapWord = std::uint64_t;
+
+void decentralized_set(BitmapWord& word, unsigned bit) {
+  // Direct construction bypasses the slot.hpp publication contract.
+  std::atomic_ref<BitmapWord>(word).fetch_or(BitmapWord{1} << bit, std::memory_order_relaxed);  // gpsa-lint: allow(memory-order)
+}
+
+unsigned atomic_ref_on_other_types_is_fine(unsigned& x) {
+  return std::atomic_ref<unsigned>(x).load();
+}

@@ -13,6 +13,13 @@ int suppressed_order() {
 
 int plain_order() { return counter.load(); }
 
+using BitmapWord = unsigned long long;
+BitmapWord bitmap_word;
+
+BitmapWord suppressed_bitmap_ref() {
+  return std::atomic_ref<BitmapWord>(bitmap_word).load();  // gpsa-lint: allow(bitmap-atomic-ref)
+}
+
 struct VertexMessage {};
 
 void suppressed_buffer_alloc() {

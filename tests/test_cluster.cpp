@@ -67,6 +67,67 @@ TEST(Cluster, PageRankMatchesReference) {
   expect_float_payloads_near(result.value().values, ref.values);
 }
 
+TEST(Cluster, WorklistMatchesSweep) {
+  // Node-local bitmaps must reproduce the sweep's dispatch set exactly
+  // (activation state never crosses nodes — the message carries it).
+  const EdgeList graph = rmat(8, 2000, 91);
+  const BfsProgram bfs(0);
+  const ConnectedComponentsProgram cc;
+  const Program* const programs[] = {&bfs, &cc};
+  for (const Program* program : programs) {
+    ClusterOptions co;
+    co.num_nodes = 3;
+    co.scheduler_workers = 2;
+    co.exec = ExecMode::kSweep;
+    const auto sweep = ClusterEngine::run(graph, *program, co);
+    co.exec = ExecMode::kWorklist;
+    const auto worklist = ClusterEngine::run(graph, *program, co);
+    ASSERT_TRUE(sweep.is_ok() && worklist.is_ok());
+    SCOPED_TRACE(program->name());
+    expect_payloads_equal(worklist.value().values, sweep.value().values);
+    EXPECT_EQ(worklist.value().total_messages, sweep.value().total_messages);
+    EXPECT_EQ(worklist.value().supersteps, sweep.value().supersteps);
+  }
+}
+
+TEST(Cluster, ZeroBudgetRunsZeroSupersteps) {
+  // A zero superstep budget (program cap 0) must halt before the first
+  // superstep, not after it — the manager used to run one superstep
+  // before its budget check.
+  const EdgeList graph = chain(16);
+  ClusterOptions co;
+  co.num_nodes = 2;
+  co.scheduler_workers = 2;
+  const auto result = ClusterEngine::run(graph, PageRankProgram(0), co);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().supersteps, 0U);
+  EXPECT_EQ(result.value().total_messages, 0U);
+  EXPECT_FALSE(result.value().converged);
+}
+
+TEST(Cluster, OptionCapZeroMeansUncappedAndSmallerCapWins) {
+  const EdgeList graph = chain(16);
+  ClusterOptions co;
+  co.num_nodes = 2;
+  co.scheduler_workers = 2;
+  co.max_supersteps = 0;  // uncapped: BFS runs the chain down
+  const auto uncapped = ClusterEngine::run(graph, BfsProgram(0), co);
+  ASSERT_TRUE(uncapped.is_ok());
+  EXPECT_TRUE(uncapped.value().converged);
+  EXPECT_EQ(uncapped.value().supersteps, 16U);
+
+  co.max_supersteps = 10;  // program cap 3 is smaller and wins
+  const auto capped = ClusterEngine::run(graph, PageRankProgram(3), co);
+  ASSERT_TRUE(capped.is_ok());
+  EXPECT_EQ(capped.value().supersteps, 3U);
+
+  co.max_supersteps = 1;  // option cap 1 is smaller and wins
+  const auto one = ClusterEngine::run(graph, BfsProgram(0), co);
+  ASSERT_TRUE(one.is_ok());
+  EXPECT_EQ(one.value().supersteps, 1U);
+  EXPECT_FALSE(one.value().converged);
+}
+
 TEST(Cluster, SingleNodeHasNoRemoteTraffic) {
   const EdgeList graph = rmat(7, 800, 97);
   ClusterOptions co;
@@ -141,7 +202,8 @@ TEST(Cluster, EdgeBalancedPartitioningReducesSendImbalance) {
 // Runs a file-backed cluster BFS in a forked child that dies between the
 // per-node checkpoint flushes (after `crash_after` nodes flushed), leaving
 // the surviving headers for the parent to validate.
-void run_cluster_crash_child(const std::string& dir, int crash_after) {
+void run_cluster_crash_child(const std::string& dir, int crash_after,
+                             std::optional<ExecMode> exec = std::nullopt) {
   const pid_t pid = fork();
   ASSERT_NE(pid, -1);
   if (pid == 0) {
@@ -153,6 +215,7 @@ void run_cluster_crash_child(const std::string& dir, int crash_after) {
     co.num_nodes = 3;
     co.scheduler_workers = 2;
     co.value_store_dir = dir;
+    co.exec = exec;
     (void)ClusterEngine::run(graph, BfsProgram(0), co);
     ::_exit(1);  // not reached: the crash hook exits first
   }
@@ -189,6 +252,41 @@ TEST(ClusterCrash, ValidateRejectsTornCheckpointSweep) {
   EXPECT_EQ(torn.status().code(), StatusCode::kCorruptData);
   EXPECT_NE(torn.status().to_string().find("torn"), std::string::npos)
       << torn.status().to_string();
+}
+
+TEST(ClusterCrash, WorklistRunLeavesSameTornStateAsSweep) {
+  // The checkpoint sweep and its torn-state detection are independent of
+  // the execution mode: a worklist run crashing between per-node flushes
+  // must be rejected exactly like a sweep run's.
+  for (const ExecMode exec : {ExecMode::kSweep, ExecMode::kWorklist}) {
+    auto dir = ScratchDir::create("cluster_torn_exec");
+    ASSERT_TRUE(dir.is_ok());
+    const std::string stores = dir.value().file("stores");
+    run_cluster_crash_child(stores, /*crash_after=*/1, exec);
+    const auto torn = ClusterEngine::validate_value_stores(stores, 3, "bfs");
+    ASSERT_FALSE(torn.is_ok()) << exec_mode_name(exec);
+    EXPECT_EQ(torn.status().code(), StatusCode::kCorruptData);
+  }
+}
+
+TEST(ClusterCrash, WorklistFileBackedRunCheckpointsEveryNodeStore) {
+  auto dir = ScratchDir::create("cluster_ckpt_wl");
+  ASSERT_TRUE(dir.is_ok());
+  const EdgeList graph = rmat(8, 2000, 91);
+  ClusterOptions co;
+  co.num_nodes = 3;
+  co.scheduler_workers = 2;
+  co.value_store_dir = dir.value().file("stores");
+  co.exec = ExecMode::kWorklist;
+  const auto result = ClusterEngine::run(graph, BfsProgram(0), co);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const ReferenceResult ref =
+      reference_run(Csr::from_edges(graph), BfsProgram(0));
+  expect_payloads_equal(result.value().values, ref.values);
+  const auto common = ClusterEngine::validate_value_stores(
+      co.value_store_dir, co.num_nodes, "bfs");
+  ASSERT_TRUE(common.is_ok()) << common.status().to_string();
+  EXPECT_EQ(common.value(), result.value().supersteps);
 }
 
 TEST(ClusterCrash, CrashBeforeAnyFlushRollsBackToEpochZero) {

@@ -120,6 +120,57 @@ TEST(Engine, SuperstepBudgetCapsRun) {
   EXPECT_EQ(result.value().values[4], kPayloadInfinity);
 }
 
+TEST(Engine, SuperstepCapZeroMeansUncapped) {
+  // 0 is "no engine-side cap", never "halt at zero": BFS must run the
+  // whole chain down and converge.
+  const EdgeList graph = chain(16);
+  EngineOptions eo = small_options();
+  eo.max_supersteps = 0;
+  const auto result = Engine::run(graph, BfsProgram(0), eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().converged);
+  EXPECT_EQ(result.value().supersteps, 16U);
+  EXPECT_EQ(result.value().values[15], 15U);
+}
+
+TEST(Engine, SuperstepCapOneRunsExactlyOneSuperstep) {
+  const EdgeList graph = chain(16);
+  EngineOptions eo = small_options();
+  eo.max_supersteps = 1;
+  const auto result = Engine::run(graph, BfsProgram(0), eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().supersteps, 1U);
+  EXPECT_FALSE(result.value().converged);
+  EXPECT_EQ(result.value().values[1], 1U);
+  EXPECT_EQ(result.value().values[2], kPayloadInfinity);
+}
+
+TEST(Engine, SmallerProgramCapWinsOverEngineCap) {
+  const EdgeList graph = chain(16);
+  EngineOptions eo = small_options();
+  eo.max_supersteps = 10;
+  const auto result = Engine::run(graph, PageRankProgram(3), eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().supersteps, 3U);
+}
+
+TEST(Engine, ProgramCapZeroRunsZeroSupersteps) {
+  // A zero *program* budget really is a zero budget (unlike the engine
+  // option, where 0 means uncapped): no superstep runs, and the result is
+  // the init values.
+  const EdgeList graph = chain(16);
+  EngineOptions eo = small_options();
+  eo.max_supersteps = 0;
+  const auto result = Engine::run(graph, PageRankProgram(0), eo);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().supersteps, 0U);
+  EXPECT_FALSE(result.value().converged);
+  EXPECT_EQ(result.value().total_messages, 0U);
+  for (const Payload v : result.value().values) {
+    EXPECT_FLOAT_EQ(payload_to_float(v), 1.0F / 16.0F);
+  }
+}
+
 TEST(Engine, MessageCountsFollowFrontier) {
   // On a chain, each BFS superstep dispatches exactly one message until
   // the tail, then a zero-message superstep terminates the run.

@@ -89,14 +89,16 @@ TEST(IoModel, StatsAccumulate) {
 }
 
 TEST(EngineIoStats, TracksDispatchVolume) {
-  // BFS on a chain: each superstep dispatches one vertex (3 CSR entries
-  // with degree+target+sentinel) and scans the whole value column.
+  // BFS on a chain under sweep mode: each superstep dispatches one vertex
+  // (3 CSR entries with degree+target+sentinel) and scans the whole value
+  // column — the O(V) cost worklist mode exists to avoid.
   const EdgeList graph = chain(32);
   const BfsProgram program(0);
   EngineOptions eo;
   eo.num_dispatchers = 1;
   eo.num_computers = 1;
   eo.scheduler_workers = 1;
+  eo.exec = ExecMode::kSweep;
   const auto result = Engine::run(graph, program, eo);
   ASSERT_TRUE(result.is_ok());
   const RunResult& r = result.value();
@@ -106,6 +108,14 @@ TEST(EngineIoStats, TracksDispatchVolume) {
   EXPECT_GE(r.io.bytes_read, r.supersteps * 32 * 4);
   // Writes: one touched vertex per superstep except the last.
   EXPECT_EQ(r.io.bytes_written, (r.supersteps - 1) * 4);
+
+  // Worklist mode checks only the frontier (one vertex per superstep on
+  // the chain), so its read volume must come in strictly under the sweep.
+  eo.exec = ExecMode::kWorklist;
+  const auto wl = Engine::run(graph, program, eo);
+  ASSERT_TRUE(wl.is_ok());
+  EXPECT_LT(wl.value().io.bytes_read, r.io.bytes_read);
+  EXPECT_EQ(wl.value().io.bytes_written, r.io.bytes_written);
 }
 
 TEST(Harness, SymmetrizeDoublesAndDedups) {
