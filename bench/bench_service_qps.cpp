@@ -1,0 +1,317 @@
+// Multi-tenant service benchmark: thousands of short BFS/SSSP/multi-BFS
+// queries from closed-loop client threads against a GraphService hosting
+// a resident (effectively unbounded) PageRank on the shared CSR.
+//
+// What the CI gate (scripts/check_service_slo.py) reads from this:
+//   - p50/p99 end-to-end query latency and sustained QPS — the SLO;
+//   - background_supersteps: how many supersteps the resident job
+//     completed *while* the query burst was in flight (>= 1 proves the
+//     fair-share budget keeps the tenant alive under load);
+//   - results_identical: a sample of queries is re-run sequentially
+//     through Engine::run_from_csr on the same CSR files and compared
+//     bit-for-bit (min-fold queries are order-independent, so any
+//     mismatch means cross-job state leaked).
+//
+// GPSA_BENCH_SCALE scales the graph, GPSA_THREADS the shared scheduler;
+// GPSA_BENCH_JSON=<path> dumps the report for the gate.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "apps/multi_bfs.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "core/engine.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+#include "service/graph_service.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gpsa {
+namespace {
+
+constexpr unsigned kClients = 4;
+constexpr int kSamplesPerClient = 2;  // sequential re-check is expensive
+
+struct QuerySpec {
+  enum Kind { kBfs, kSssp, kMultiBfs } kind = kBfs;
+  std::vector<VertexId> roots;
+
+  std::shared_ptr<const Program> make() const {
+    switch (kind) {
+      case kBfs:
+        return std::make_shared<const BfsProgram>(roots[0]);
+      case kSssp:
+        return std::make_shared<const SsspProgram>(roots[0]);
+      case kMultiBfs:
+        return std::make_shared<const MultiSourceReachabilityProgram>(roots);
+    }
+    return nullptr;
+  }
+
+  const char* name() const {
+    switch (kind) {
+      case kBfs:
+        return "bfs";
+      case kSssp:
+        return "sssp";
+      case kMultiBfs:
+        return "multi_bfs";
+    }
+    return "?";
+  }
+};
+
+QuerySpec make_query(Rng& rng, VertexId n) {
+  QuerySpec spec;
+  const std::uint64_t pick = rng.next_below(16);
+  if (pick == 0) {
+    spec.kind = QuerySpec::kMultiBfs;
+    for (int i = 0; i < 3; ++i) {
+      spec.roots.push_back(static_cast<VertexId>(rng.next_below(n)));
+    }
+  } else {
+    spec.kind = (pick & 1) != 0 ? QuerySpec::kBfs : QuerySpec::kSssp;
+    spec.roots.push_back(static_cast<VertexId>(rng.next_below(n)));
+  }
+  return spec;
+}
+
+struct Sample {
+  QuerySpec spec;
+  std::vector<Payload> values;
+};
+
+// Per-client tallies, merged after join (no shared mutable state).
+struct ClientStats {
+  std::vector<double> end_to_end_seconds;
+  std::vector<double> queue_wait_seconds;
+  std::vector<Sample> samples;
+  std::uint64_t admission_retries = 0;
+  std::uint64_t failures = 0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void client_loop(GraphService& service, unsigned client, std::uint64_t queries,
+                 ClientStats& stats) {
+  Rng rng(1000 + client);
+  const VertexId n = service.num_vertices();
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    const QuerySpec spec = make_query(rng, n);
+    const bool sampled = q < kSamplesPerClient;
+    JobOptions jo;
+    jo.retain_values = sampled;
+    JobId id = 0;
+    for (;;) {
+      auto submitted = service.submit(spec.make(), jo);
+      if (submitted.is_ok()) {
+        id = submitted.value();
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted) {
+        ++stats.failures;
+        return;
+      }
+      ++stats.admission_retries;  // closed loop: back off and re-offer
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    auto status = service.wait(id);
+    if (!status.is_ok() || status.value().state != JobState::kDone ||
+        status.value().result == nullptr) {
+      ++stats.failures;
+      continue;
+    }
+    stats.end_to_end_seconds.push_back(
+        status.value().result->end_to_end_seconds);
+    stats.queue_wait_seconds.push_back(
+        status.value().result->queue_wait_seconds);
+    if (sampled) {
+      stats.samples.push_back({spec, status.value().result->values});
+    }
+    service.forget(id);  // keep the job table bounded across thousands
+  }
+}
+
+}  // namespace
+}  // namespace gpsa
+
+int main() {
+  using namespace gpsa;
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  const EdgeList graph =
+      prepare_graph(PaperGraph::kPokec, AlgoKind::kBfs, exp);
+  const std::uint64_t total_queries = std::max<std::uint64_t>(
+      400, static_cast<std::uint64_t>(4000.0 * exp.scale));
+  const std::uint64_t per_client = total_queries / kClients;
+
+  std::printf("== Service QPS: %llu short queries (%u clients) against a "
+              "resident PageRank (pokec stand-in, scale %.3g) ==\n\n",
+              static_cast<unsigned long long>(per_client * kClients), kClients,
+              exp.scale);
+
+  ServiceOptions so;
+  so.num_dispatchers = 1;  // short queries: small ensembles, many jobs
+  so.num_computers = 1;
+  if (exp.threads != 0) {
+    so.scheduler_workers = exp.threads;
+  }
+  so.max_concurrent_jobs = kClients + 1;  // every client + the resident
+  auto opened = GraphService::open_from_edges(graph, so);
+  if (!opened.is_ok()) {
+    std::fprintf(stderr, "open: %s\n", opened.status().to_string().c_str());
+    return 1;
+  }
+  const std::unique_ptr<GraphService> service = std::move(opened).value();
+
+  // Resident tenant: a PageRank that only cancel can end. Wait for its
+  // first superstep so the burst genuinely contends with a running job.
+  JobOptions resident_options;
+  resident_options.retain_values = false;
+  auto resident = service->submit(
+      std::make_shared<const PageRankProgram>(1000000000), resident_options);
+  if (!resident.is_ok()) {
+    std::fprintf(stderr, "resident: %s\n",
+                 resident.status().to_string().c_str());
+    return 1;
+  }
+  while (service->poll(resident.value()).value().supersteps_completed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::uint64_t background_before =
+      service->poll(resident.value()).value().supersteps_completed;
+
+  std::vector<ClientStats> stats(kClients);
+  WallTimer load_timer;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (unsigned c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, c, per_client, &stats] {
+        client_loop(*service, c, per_client, stats[c]);
+      });
+    }
+    for (auto& t : clients) {
+      t.join();
+    }
+  }
+  const double load_seconds = load_timer.elapsed_seconds();
+  const std::uint64_t background_after =
+      service->poll(resident.value()).value().supersteps_completed;
+  service->cancel(resident.value());
+  const auto resident_status = service->wait(resident.value());
+  const bool resident_cancelled_cleanly =
+      resident_status.is_ok() &&
+      resident_status.value().state == JobState::kCancelled;
+
+  // Merge per-client tallies.
+  std::vector<double> latencies;
+  std::vector<double> queue_waits;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+  std::vector<Sample> samples;
+  for (const ClientStats& s : stats) {
+    latencies.insert(latencies.end(), s.end_to_end_seconds.begin(),
+                     s.end_to_end_seconds.end());
+    queue_waits.insert(queue_waits.end(), s.queue_wait_seconds.begin(),
+                       s.queue_wait_seconds.end());
+    samples.insert(samples.end(), s.samples.begin(), s.samples.end());
+    retries += s.admission_retries;
+    failures += s.failures;
+  }
+
+  // Sequential ground truth for the sampled queries: the same CSR files,
+  // one Engine run each, compared bit-for-bit.
+  EngineOptions eo;
+  eo.num_dispatchers = so.num_dispatchers;
+  eo.num_computers = so.num_computers;
+  if (exp.threads != 0) {
+    eo.scheduler_workers = exp.threads;
+  }
+  bool results_identical = true;
+  for (const Sample& sample : samples) {
+    auto baseline =
+        Engine::run_from_csr(service->csr_path(), *sample.spec.make(), eo);
+    if (!baseline.is_ok() || baseline.value().values != sample.values) {
+      std::fprintf(stderr, "sampled %s query diverged from sequential run\n",
+                   sample.spec.name());
+      results_identical = false;
+    }
+  }
+
+  const std::uint64_t completed = latencies.size();
+  const double qps =
+      load_seconds > 0.0 ? static_cast<double>(completed) / load_seconds : 0.0;
+  const double p50_ms = percentile(latencies, 0.50) * 1e3;
+  const double p99_ms = percentile(latencies, 0.99) * 1e3;
+  const double queue_p99_ms = percentile(queue_waits, 0.99) * 1e3;
+  const std::uint64_t background_supersteps =
+      background_after - background_before;
+
+  TextTable table({"metric", "value"});
+  table.add_row({"queries completed", TextTable::num(completed)});
+  table.add_row({"wall (s)", TextTable::num(load_seconds, 3)});
+  table.add_row({"qps", TextTable::num(qps, 1)});
+  table.add_row({"p50 latency (ms)", TextTable::num(p50_ms, 2)});
+  table.add_row({"p99 latency (ms)", TextTable::num(p99_ms, 2)});
+  table.add_row({"p99 queue wait (ms)", TextTable::num(queue_p99_ms, 2)});
+  table.add_row({"admission retries", TextTable::num(retries)});
+  table.add_row(
+      {"background supersteps", TextTable::num(background_supersteps)});
+  table.add_row({"sampled queries checked",
+                 TextTable::num(static_cast<std::uint64_t>(samples.size()))});
+  table.print();
+  std::printf("\nsampled results identical to sequential runs: %s; resident "
+              "cancelled cleanly: %s\n",
+              results_identical ? "yes" : "NO",
+              resident_cancelled_cleanly ? "yes" : "NO");
+
+  bool ok = results_identical && resident_cancelled_cleanly && failures == 0 &&
+            completed == per_client * kClients;
+  if (failures != 0) {
+    std::fprintf(stderr, "%llu queries failed\n",
+                 static_cast<unsigned long long>(failures));
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("service_qps");
+  w.key("graph").value("pokec");
+  w.key("scale").value(exp.scale);
+  w.key("clients").value(kClients);
+  w.key("queries").value(completed);
+  w.key("failures").value(failures);
+  w.key("wall_seconds").value(load_seconds);
+  w.key("qps").value(qps);
+  w.key("p50_ms").value(p50_ms);
+  w.key("p99_ms").value(p99_ms);
+  w.key("queue_p99_ms").value(queue_p99_ms);
+  w.key("admission_retries").value(retries);
+  w.key("background_supersteps").value(background_supersteps);
+  w.key("resident_cancelled_cleanly").value(resident_cancelled_cleanly);
+  w.key("samples_checked").value(static_cast<std::uint64_t>(samples.size()));
+  w.key("results_identical").value(results_identical);
+  w.end_object();
+  const Status json = write_bench_json(w);
+  if (!json.is_ok()) {
+    std::fprintf(stderr, "%s\n", json.to_string().c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

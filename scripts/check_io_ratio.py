@@ -12,18 +12,14 @@ means the readahead scheduler is not doing its job anywhere.
 
 Usage: check_io_ratio.py <bench_ablation_io.json> <min_ratio> [dataset]
 """
-import json
 import sys
 
+from gpsa_gate import Gate, gate_main
 
-def main() -> int:
-    if len(sys.argv) not in (3, 4):
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-    min_ratio = float(sys.argv[2])
-    dataset = sys.argv[3] if len(sys.argv) == 4 else "google"
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    min_ratio = float(args[0])
+    dataset = args[1] if len(args) == 2 else "google"
 
     by_backend = {}
     for cell in report["cells"]:
@@ -42,22 +38,17 @@ def main() -> int:
                   file=sys.stderr)
             continue
         ratio = on / off
-        print(f"  {backend}: readahead on/off = {on:.1f}/{off:.1f} MB/s "
-              f"= {ratio:.3f}")
+        gate.note(f"  {backend}: readahead on/off = {on:.1f}/{off:.1f} MB/s "
+                  f"= {ratio:.3f}")
         if best is None or ratio > best:
             best = ratio
 
     if best is None:
-        print(f"no usable {dataset} cells in report", file=sys.stderr)
-        return 1
-    print(f"best readahead ratio on {dataset}: {best:.3f} "
-          f"(need >= {min_ratio})")
-    if best < min_ratio:
-        print("FAIL: readahead did not clear the required dispatch "
-              "throughput ratio", file=sys.stderr)
-        return 1
-    return 0
+        gate.fatal(f"no usable {dataset} cells in report")
+    gate.check_min(f"best readahead ratio on {dataset}", best, min_ratio,
+                   "readahead did not clear the required dispatch "
+                   "throughput ratio")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(gate_main(__doc__, check, min_args=2, max_args=3))

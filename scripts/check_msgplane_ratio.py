@@ -20,39 +20,32 @@ of what the default configuration fixes.
 Usage: check_msgplane_ratio.py <bench_ablation_message_plane.json>
        <min_ratio>
 """
-import json
 import sys
 
+from gpsa_gate import Gate, gate_main
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-    min_ratio = float(sys.argv[2])
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    min_ratio = float(args[0])
 
     by_config = {}
     for cell in report["cells"]:
         by_config[(cell["pool"], cell["routing"])] = cell
         if cell["pool"] == "on":
-            print(f"  pool=on routing={cell['routing']}: "
-                  f"{cell['pool_hits']} hits, {cell['pool_misses']} misses, "
-                  f"{cell['pool_steady_misses']} steady misses")
+            gate.note(f"  pool=on routing={cell['routing']}: "
+                      f"{cell['pool_hits']} hits, {cell['pool_misses']} "
+                      f"misses, {cell['pool_steady_misses']} steady misses")
 
     baseline = by_config.get(("off", "mod"))
     full = by_config.get(("on", "range"))
     if baseline is None or full is None:
-        print("missing baseline (off,mod) or full (on,range) cell in report",
-              file=sys.stderr)
-        return 1
+        gate.fatal("missing baseline (off,mod) or full (on,range) cell in "
+                   "report")
 
-    failed = False
     steady = full["pool_steady_misses"]
-    if steady != 0:
-        print(f"FAIL: the default (on,range) cell allocated {steady} "
-              f"time(s) after warm-up", file=sys.stderr)
-        failed = True
+    gate.require(steady == 0,
+                 f"the default (on,range) cell allocated {steady} "
+                 f"time(s) after warm-up")
 
     base_rounds = baseline.get("round_msgs_per_sec") or []
     full_rounds = full.get("round_msgs_per_sec") or []
@@ -61,28 +54,23 @@ def main() -> int:
         ratios = [f / b for f, b in paired]
         best = max(range(len(ratios)), key=lambda i: ratios[i])
         ratio = ratios[best]
-        print("  per-round pooled+range / unpooled+mod: "
-              + " ".join(f"{r:.3f}" for r in ratios))
-        print(f"message plane best within-round ratio = "
-              f"{paired[best][0] / 1e6:.2f}/{paired[best][1] / 1e6:.2f}"
-              f" Mmsg/s = {ratio:.3f} (need >= {min_ratio})")
+        gate.note("  per-round pooled+range / unpooled+mod: "
+                  + " ".join(f"{r:.3f}" for r in ratios))
+        label = (f"message plane best within-round ratio "
+                 f"({paired[best][0] / 1e6:.2f}/{paired[best][1] / 1e6:.2f}"
+                 f" Mmsg/s)")
     elif baseline["msgs_per_sec"] > 0:
         # Older reports without per-round samples: best-vs-best fallback.
         ratio = full["msgs_per_sec"] / baseline["msgs_per_sec"]
-        print(f"message plane pooled+range / unpooled+mod = "
-              f"{full['msgs_per_sec'] / 1e6:.2f}/"
-              f"{baseline['msgs_per_sec'] / 1e6:.2f}"
-              f" Mmsg/s = {ratio:.3f} (need >= {min_ratio})")
+        label = (f"message plane pooled+range / unpooled+mod "
+                 f"({full['msgs_per_sec'] / 1e6:.2f}/"
+                 f"{baseline['msgs_per_sec'] / 1e6:.2f} Mmsg/s)")
     else:
-        print("baseline throughput is zero; cannot compute ratio",
-              file=sys.stderr)
-        return 1
-    if ratio < min_ratio:
-        print("FAIL: the zero-allocation plane did not clear the required "
-              "throughput ratio", file=sys.stderr)
-        failed = True
-    return 1 if failed else 0
+        gate.fatal("baseline throughput is zero; cannot compute ratio")
+    gate.check_min(label, ratio, min_ratio,
+                   "the zero-allocation plane did not clear the required "
+                   "throughput ratio")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(gate_main(__doc__, check, min_args=2))

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate on the multi-tenant service benchmark (bench_service_qps): the
+query stream must hold its latency/throughput SLO while the resident
+PageRank keeps making progress, and every sampled query must match its
+sequential Engine re-run bit-for-bit.
+
+Checks, in order:
+  - no query failed and every submitted query completed;
+  - sampled results are bit-identical to sequential runs on the same CSR
+    (min-fold queries are order-independent, so any mismatch means
+    cross-job state leaked);
+  - the resident job completed >= min_bg_supersteps supersteps while the
+    burst was in flight (fair-share keeps tenants alive under load) and
+    was cancelled cleanly at a superstep boundary afterwards;
+  - p99 end-to-end latency <= max_p99_ms and throughput >= min_qps.
+
+Usage: check_service_slo.py <bench_service_qps.json> <max_p99_ms>
+       <min_qps> [min_bg_supersteps]
+"""
+import sys
+
+from gpsa_gate import Gate, gate_main
+
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    max_p99_ms = float(args[0])
+    min_qps = float(args[1])
+    min_bg = int(args[2]) if len(args) == 3 else 1
+
+    gate.note(f"{report['queries']} queries from {report['clients']} clients "
+              f"in {report['wall_seconds']:.2f}s "
+              f"(p50 {report['p50_ms']:.2f}ms, "
+              f"{report['admission_retries']} admission retries)")
+
+    failures = report.get("failures", 0)
+    gate.require(failures == 0, f"{failures} queries failed")
+    gate.require(report.get("samples_checked", 0) > 0,
+                 "no sampled queries were re-checked sequentially")
+    gate.require(report.get("results_identical", False),
+                 "sampled query results diverged from sequential runs")
+    gate.require(report.get("resident_cancelled_cleanly", False),
+                 "resident job did not cancel cleanly at a superstep "
+                 "boundary")
+    gate.check_min("resident supersteps during the burst",
+                   report.get("background_supersteps", 0), min_bg,
+                   "resident job starved while the query burst ran")
+    gate.check_max("p99 end-to-end latency (ms)", report["p99_ms"],
+                   max_p99_ms, "p99 latency exceeded the SLO")
+    gate.check_min("sustained qps", report["qps"], min_qps,
+                   "throughput fell below the SLO")
+
+
+if __name__ == "__main__":
+    sys.exit(gate_main(__doc__, check, min_args=3, max_args=4))

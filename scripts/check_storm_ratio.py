@@ -6,17 +6,13 @@ the new scheduler exists to remove.
 
 Usage: check_storm_ratio.py <bench_ablation_actors.json> <min_ratio>
 """
-import json
 import sys
 
+from gpsa_gate import Gate, gate_main
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-    min_ratio = float(sys.argv[2])
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    min_ratio = float(args[0])
 
     cells = {}
     for cell in report["storm"]:
@@ -31,21 +27,16 @@ def main() -> int:
         ratio = (by_mode["stealing"]["messages_per_sec"] /
                  by_mode["global"]["messages_per_sec"])
         marker = " " if oversub < 2 else "*"
-        print(f"{marker} workers={workers:3d} actors={actors:4d} "
-              f"oversub={oversub} stealing/global = {ratio:.3f}")
+        gate.note(f"{marker} workers={workers:3d} actors={actors:4d} "
+                  f"oversub={oversub} stealing/global = {ratio:.3f}")
         if oversub >= 2 and (best is None or ratio > best):
             best = ratio
 
     if best is None:
-        print("no oversubscribed storm cells in report", file=sys.stderr)
-        return 1
-    print(f"best oversubscribed ratio: {best:.3f} (need >= {min_ratio})")
-    if best < min_ratio:
-        print("FAIL: work stealing did not clear the required ratio",
-              file=sys.stderr)
-        return 1
-    return 0
+        gate.fatal("no oversubscribed storm cells in report")
+    gate.check_min("best oversubscribed ratio", best, min_ratio,
+                   "work stealing did not clear the required ratio")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(gate_main(__doc__, check, min_args=2))

@@ -20,84 +20,64 @@ flagged loudly but not gated, since CI machines vary in core count.
 
 Usage: check_worklist_ratio.py <bench_ablation_worklist.json> <min_ratio>
 """
-import json
 import sys
 
+from gpsa_gate import Gate, gate_main
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-    min_ratio = float(sys.argv[2])
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    min_ratio = float(args[0])
 
     cells = {cell["exec"]: cell for cell in report["cells"]}
     sweep = cells.get("sweep")
     worklist = cells.get("worklist")
     if sweep is None or worklist is None:
-        print("missing sweep or worklist cell in report", file=sys.stderr)
-        return 1
+        gate.fatal("missing sweep or worklist cell in report")
 
-    failed = False
-    if not report.get("results_identical", False):
-        print("FAIL: sweep and worklist produced different results",
-              file=sys.stderr)
-        failed = True
-    if not report.get("reference_identical", False):
-        print("FAIL: worklist diverged from the single-thread reference",
-              file=sys.stderr)
-        failed = True
+    gate.require(report.get("results_identical", False),
+                 "sweep and worklist produced different results")
+    gate.require(report.get("reference_identical", False),
+                 "worklist diverged from the single-thread reference")
     for key in ("supersteps", "messages", "active"):
-        if sweep[key] != worklist[key]:
-            print(f"FAIL: {key} differ: sweep={sweep[key]} "
-                  f"worklist={worklist[key]}", file=sys.stderr)
-            failed = True
+        gate.require(sweep[key] == worklist[key],
+                     f"{key} differ: sweep={sweep[key]} "
+                     f"worklist={worklist[key]}")
 
     if worklist["edges_touched"] <= 0:
-        print("FAIL: worklist touched zero edges", file=sys.stderr)
-        return 1
+        gate.fatal("FAIL: worklist touched zero edges")
     total_ratio = sweep["edges_touched"] / worklist["edges_touched"]
-    print(f"edges touched (whole run): sweep={sweep['edges_touched']} "
-          f"worklist={worklist['edges_touched']} ratio={total_ratio:.2f} "
-          f"(informational)")
+    gate.note(f"edges touched (whole run): sweep={sweep['edges_touched']} "
+              f"worklist={worklist['edges_touched']} ratio={total_ratio:.2f} "
+              f"(informational)")
 
     # Gated metric: the frontier tail. Both modes dispatch the same
     # vertices, so the per-superstep active series is shared; the tail
     # is every superstep after the frontier peak.
     active_series = sweep.get("superstep_active", [])
-    if active_series != worklist.get("superstep_active", []):
-        print("FAIL: per-superstep active series differ between modes",
-              file=sys.stderr)
-        failed = True
+    gate.require(active_series == worklist.get("superstep_active", []),
+                 "per-superstep active series differ between modes")
     if not active_series:
-        print("FAIL: report has no per-superstep series", file=sys.stderr)
-        return 1
+        gate.fatal("FAIL: report has no per-superstep series")
     peak = active_series.index(max(active_series))
     sweep_tail = sum(sweep["superstep_edges"][peak + 1:])
     worklist_tail = sum(worklist["superstep_edges"][peak + 1:])
     if worklist_tail <= 0:
-        print("FAIL: no frontier tail after the peak (superstep "
-              f"{peak} of {len(active_series)}) — graph too small or "
-              "run did not converge", file=sys.stderr)
-        return 1
-    tail_ratio = sweep_tail / worklist_tail
-    print(f"edges touched (tail, supersteps {peak + 1}.."
-          f"{len(active_series) - 1}): sweep={sweep_tail} "
-          f"worklist={worklist_tail} ratio={tail_ratio:.2f} "
-          f"(need >= {min_ratio})")
-    if tail_ratio < min_ratio:
-        print("FAIL: worklist did not reduce tail touched edges enough",
-              file=sys.stderr)
-        failed = True
+        gate.fatal(f"FAIL: no frontier tail after the peak (superstep "
+                   f"{peak} of {len(active_series)}) — graph too small or "
+                   f"run did not converge")
+    gate.check_min(
+        f"edges touched on the tail (supersteps {peak + 1}.."
+        f"{len(active_series) - 1}, sweep={sweep_tail} "
+        f"worklist={worklist_tail})",
+        sweep_tail / worklist_tail, min_ratio,
+        "worklist did not reduce tail touched edges enough")
 
     reference = report.get("reference_seconds", 0.0)
     if reference > 0 and worklist["seconds"] > reference:
-        print(f"WARNING: worklist engine ({worklist['seconds']:.4f}s) is "
-              f"slower than the single-thread reference ({reference:.4f}s) "
-              f"— COST check (not gated)")
-    return 1 if failed else 0
+        gate.warn(f"worklist engine ({worklist['seconds']:.4f}s) is "
+                  f"slower than the single-thread reference "
+                  f"({reference:.4f}s) — COST check (not gated)")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(gate_main(__doc__, check, min_args=2))

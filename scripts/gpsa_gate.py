@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Shared plumbing for the bench-JSON CI gates (scripts/check_*.py).
+
+Every gate follows the same protocol: load a GPSA_BENCH_JSON report,
+print per-cell diagnostics to stdout, print failures prefixed "FAIL:" to
+stderr, and exit 0 on pass / 1 on fail / 2 on usage error. This module
+owns that protocol so each gate script contains only its metric logic:
+
+    from gpsa_gate import gate_main
+
+    def check(report, args, gate):
+        gate.check_min("best ratio", ratio, float(args[0]), "too slow")
+
+    if __name__ == "__main__":
+        sys.exit(gate_main(__doc__, check, min_args=2))
+
+Self-tested by scripts/test_gpsa_gate.py (ctest: gpsa_gate_selftest).
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+
+class GateFatal(Exception):
+    """Raised by Gate.fatal: the report cannot be evaluated at all."""
+
+
+class Gate:
+    """Collects pass/fail state across any number of checks."""
+
+    def __init__(self) -> None:
+        self.failed = False
+
+    def note(self, message: str) -> None:
+        """Informational line (per-cell diagnostics) to stdout."""
+        print(message)
+
+    def warn(self, message: str) -> None:
+        """Loud but ungated (e.g. the COST check on varied CI hosts)."""
+        print(f"WARNING: {message}")
+
+    def fail(self, message: str) -> None:
+        print(f"FAIL: {message}", file=sys.stderr)
+        self.failed = True
+
+    def fatal(self, message: str) -> None:
+        """A defect that makes the rest of the gate meaningless (missing
+        cells, zero denominators): report it and stop evaluating."""
+        print(message, file=sys.stderr)
+        raise GateFatal(message)
+
+    def require(self, condition: bool, message: str) -> bool:
+        """fail(message) unless condition; returns condition."""
+        if not condition:
+            self.fail(message)
+        return bool(condition)
+
+    def check_min(self, label: str, value: float, minimum: float,
+                  fail_message: str) -> bool:
+        """The threshold comparison every ratio gate ends in."""
+        self.note(f"{label}: {value:.3f} (need >= {minimum:g})")
+        return self.require(value >= minimum, fail_message)
+
+    def check_max(self, label: str, value: float, maximum: float,
+                  fail_message: str) -> bool:
+        """Upper-bound flavor (latency SLOs)."""
+        self.note(f"{label}: {value:.3f} (need <= {maximum:g})")
+        return self.require(value <= maximum, fail_message)
+
+
+def load_report(path: str) -> dict:
+    """Loads a GPSA_BENCH_JSON report."""
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def gate_main(doc: str, check, min_args: int, max_args: int | None = None,
+              argv: list[str] | None = None) -> int:
+    """Arity/usage handling, report loading, and exit-code mapping.
+
+    `check(report, args, gate)` receives the parsed report, the argv tail
+    *after* the report path, and a Gate. `min_args`/`max_args` count the
+    positional arguments including the report path.
+    """
+    max_args = min_args if max_args is None else max_args
+    args = (sys.argv if argv is None else argv)[1:]
+    if not min_args <= len(args) <= max_args:
+        print(doc, file=sys.stderr)
+        return 2
+    report = load_report(args[0])
+    gate = Gate()
+    try:
+        check(report, args[1:], gate)
+    except GateFatal:
+        return 1
+    return 1 if gate.failed else 0

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Self-test for the bench-JSON gates (gpsa_gate.py + check_*.py).
+
+Each gate runs as a subprocess against generated JSON fixtures: one
+report shaped to pass and, for each gated property, a mutation that must
+fail with exit 1 and a FAIL: line on stderr. Arity errors must exit 2
+with the usage text. Run directly or via ctest (gpsa_gate_selftest).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = ROOT / "scripts"
+
+failures: list[str] = []
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        failures.append(message)
+
+
+def run_gate(script: str, report: dict | None, *args: str,
+             tmp: Path) -> subprocess.CompletedProcess:
+    argv = [sys.executable, str(SCRIPTS / script)]
+    if report is not None:
+        path = tmp / f"{script}.json"
+        path.write_text(json.dumps(report), encoding="utf-8")
+        argv.append(str(path))
+    argv.extend(args)
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def check_gate(name: str, script: str, passing: dict, pass_args: list[str],
+               mutations: dict, tmp: Path) -> None:
+    """Runs the pass case, each failing mutation, and the usage error."""
+    proc = run_gate(script, passing, *pass_args, tmp=tmp)
+    expect(proc.returncode == 0,
+           f"{name}: pass case exited {proc.returncode}: {proc.stderr!r}")
+
+    for label, mutate in sorted(mutations.items()):
+        report = copy.deepcopy(passing)
+        args = mutate(report) or pass_args
+        proc = run_gate(script, report, *args, tmp=tmp)
+        expect(proc.returncode == 1,
+               f"{name}/{label}: exited {proc.returncode}, want 1 "
+               f"(stdout: {proc.stdout!r})")
+        expect("FAIL" in proc.stderr or proc.stderr.strip() != "",
+               f"{name}/{label}: nothing on stderr")
+
+    proc = run_gate(script, None, tmp=tmp)  # no report path, no args
+    expect(proc.returncode == 2,
+           f"{name}: usage error exited {proc.returncode}, want 2")
+    expect("Usage:" in proc.stderr, f"{name}: usage text missing on stderr")
+
+
+def storm_report() -> dict:
+    def cell(scheduler, rate):
+        return {"workers": 4, "actors": 16, "scheduler": scheduler,
+                "oversubscription": 4, "messages_per_sec": rate}
+    return {"storm": [cell("global", 1.0e6), cell("stealing", 2.0e6)]}
+
+
+def io_report() -> dict:
+    def cell(readahead, rate):
+        return {"dataset": "google", "backend": "mmap",
+                "readahead": readahead, "dispatch_mb_per_sec": rate}
+    return {"cells": [cell("off", 100.0), cell("on", 200.0)]}
+
+
+def msgplane_report() -> dict:
+    return {"cells": [
+        {"pool": "off", "routing": "mod", "msgs_per_sec": 1.0e6,
+         "round_msgs_per_sec": [1.0e6, 1.1e6]},
+        {"pool": "on", "routing": "range", "msgs_per_sec": 2.0e6,
+         "round_msgs_per_sec": [2.0e6, 2.1e6], "pool_hits": 100,
+         "pool_misses": 4, "pool_steady_misses": 0},
+    ]}
+
+
+def worklist_report() -> dict:
+    def cell(exec_mode, edges, series):
+        return {"exec": exec_mode, "seconds": 0.5, "supersteps": 4,
+                "messages": 100, "active": 50, "edges_touched": edges,
+                "superstep_active": [10, 40, 5, 1],
+                "superstep_edges": series}
+    return {"results_identical": True, "reference_identical": True,
+            "reference_seconds": 2.0,
+            "cells": [cell("sweep", 90, [10, 20, 30, 30]),
+                      cell("worklist", 40, [10, 20, 5, 5])]}
+
+
+def service_report() -> dict:
+    return {"bench": "service_qps", "clients": 4, "queries": 400,
+            "failures": 0, "wall_seconds": 2.5, "qps": 160.0,
+            "p50_ms": 24.0, "p99_ms": 36.0, "queue_p99_ms": 1.0,
+            "admission_retries": 0, "background_supersteps": 1000,
+            "resident_cancelled_cleanly": True, "samples_checked": 8,
+            "results_identical": True}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gpsa_gate_test") as tmpdir:
+        tmp = Path(tmpdir)
+
+        check_gate(
+            "storm", "check_storm_ratio.py", storm_report(), ["1.3"],
+            {
+                "below-threshold": lambda r: ["3.0"],
+                "no-oversubscribed-cells": lambda r: (
+                    [c.update(oversubscription=1) for c in r["storm"]],
+                    ["1.3"])[1],
+            }, tmp)
+
+        check_gate(
+            "io", "check_io_ratio.py", io_report(), ["1.5"],
+            {
+                "below-threshold": lambda r: ["3.0"],
+                "missing-dataset": lambda r: ["1.5", "twitter"],
+            }, tmp)
+
+        check_gate(
+            "msgplane", "check_msgplane_ratio.py", msgplane_report(),
+            ["1.5"],
+            {
+                "below-threshold": lambda r: ["3.0"],
+                "steady-misses": lambda r: (
+                    r["cells"][1].update(pool_steady_misses=2),
+                    ["1.5"])[1],
+                "missing-cell": lambda r: (r["cells"].pop(0), ["1.5"])[1],
+            }, tmp)
+
+        check_gate(
+            "worklist", "check_worklist_ratio.py", worklist_report(),
+            ["2.0"],
+            {
+                "below-threshold": lambda r: ["20.0"],
+                "results-differ": lambda r: (
+                    r.update(results_identical=False), ["2.0"])[1],
+                "superstep-mismatch": lambda r: (
+                    r["cells"][1].update(supersteps=5), ["2.0"])[1],
+            }, tmp)
+
+        check_gate(
+            "service_slo", "check_service_slo.py", service_report(),
+            ["500", "20"],
+            {
+                "p99-over-slo": lambda r: ["10", "20"],
+                "qps-under-slo": lambda r: ["500", "100000"],
+                "query-failures": lambda r: (
+                    r.update(failures=3), ["500", "20"])[1],
+                "results-diverged": lambda r: (
+                    r.update(results_identical=False), ["500", "20"])[1],
+                "resident-starved": lambda r: (
+                    r.update(background_supersteps=0),
+                    ["500", "20", "1"])[1],
+                "unclean-cancel": lambda r: (
+                    r.update(resident_cancelled_cleanly=False),
+                    ["500", "20"])[1],
+            }, tmp)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("gpsa_gate self-test: all gate pass/fail/usage checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,14 @@ class Actor : public Schedulable {
   /// with itself for the same actor.
   virtual void on_message(M message) = 0;
 
+  /// Despawn-protocol hint (Schedulable::quiescent): IDLE means the
+  /// mailbox was seen empty and the actor sits on no run queue. The
+  /// window between a worker's pop and the IDLE store is covered by the
+  /// scheduler's in-slice flag.
+  bool idle_hint() const override {
+    return state_.load(std::memory_order_seq_cst) == kIdle;
+  }
+
  private:
   friend class ActorSystem;
 

@@ -218,7 +218,9 @@ void Scheduler::worker_loop_global(unsigned index) {
       run_queue_.pop_front();
     }
     slices_.fetch_add(1, std::memory_order_relaxed);
+    unit->slice_begin();
     const bool more = unit->execute_batch(batch_size_);
+    unit->slice_end();
     if (more) {
       enqueue(unit);
     }
@@ -239,7 +241,18 @@ void Scheduler::worker_loop_stealing(unsigned index) {
     }
     pending_.fetch_sub(1, std::memory_order_seq_cst);
     slices_.fetch_add(1, std::memory_order_relaxed);
+    // Consecutive same-job run length for the per-job fair-share budget
+    // (next_unit). Owner-private, so plain reads/writes are fine.
+    const std::uint32_t tag = unit->job_tag();
+    if (tag == self.last_job_tag) {
+      ++self.job_run_len;
+    } else {
+      self.last_job_tag = tag;
+      self.job_run_len = 1;
+    }
+    unit->slice_begin();
     const bool more = unit->execute_batch(batch_size_);
+    unit->slice_end();
     if (more) {
       enqueue(unit);
     }
@@ -249,9 +262,18 @@ void Scheduler::worker_loop_stealing(unsigned index) {
 
 Schedulable* Scheduler::next_unit(Worker& self, unsigned index) {
   ++self.tick;
-  if (self.tick % kFairnessTick == 0) {
+  const std::uint64_t job_budget =
+      fair_budget_.load(std::memory_order_relaxed);
+  const bool fairness_due =
+      self.tick % kFairnessTick == 0 ||
+      (job_budget != 0 && self.job_run_len >= job_budget);
+  if (fairness_due) {
     // Fairness tick: service the FIFO ends first so local LIFO churn can
     // delay the injector / our own deque's far end by at most one period.
+    // The per-job budget arms the same path early once a worker has run
+    // `job_budget` consecutive slices of one job; if no other job has
+    // work queued, the pops below fall through and the same job simply
+    // continues (work conservation — the budget never idles a worker).
     if (Schedulable* unit = pop_injector()) {
       return unit;
     }

@@ -52,6 +52,49 @@ class Schedulable {
   /// Returns true if the unit still has (or may have) pending work and must
   /// be re-enqueued; false if it went idle.
   virtual bool execute_batch(std::size_t max_messages) = 0;
+
+  /// Job namespace this unit belongs to (ActorSystem::spawn_in_job). Tag 0
+  /// is the default single-job namespace. Set once, before the first
+  /// enqueue; read by workers for the per-job fair-share budget and by
+  /// ActorSystem::despawn_job to collect a job's actors.
+  void set_job_tag(std::uint32_t tag) { job_tag_ = tag; }
+  std::uint32_t job_tag() const { return job_tag_; }
+
+  /// True when the unit is neither mid-slice nor claimed by / queued on
+  /// any run queue. Actor<M> refines idle_hint() with its mailbox state
+  /// machine: IDLE there means "not enqueued anywhere and mailbox seen
+  /// empty", and the in-slice flag covers the pop-to-state-reset window.
+  bool quiescent() const {
+    return !in_slice_.load(std::memory_order_seq_cst) && idle_hint();
+  }
+
+  /// Slices this unit has fully completed. The despawn protocol
+  /// (ActorSystem::despawn_job) reads this before and after a quiescent()
+  /// sweep: slice_end() bumps the counter BEFORE clearing the in-slice
+  /// flag, so an unchanged counter across a window in which every unit
+  /// read quiescent means no slice ran anywhere in that window.
+  std::uint64_t slices_completed() const {
+    return slices_completed_.load(std::memory_order_seq_cst);
+  }
+
+ protected:
+  /// Subclass's view of "no pending work and not on a run queue".
+  virtual bool idle_hint() const { return true; }
+
+ private:
+  friend class Scheduler;
+
+  void slice_begin() { in_slice_.store(true, std::memory_order_seq_cst); }
+  void slice_end() {
+    // Counter first, then the flag: a reader that sees in_slice_ == false
+    // with an unchanged counter knows this slice's writes are visible.
+    slices_completed_.fetch_add(1, std::memory_order_seq_cst);
+    in_slice_.store(false, std::memory_order_seq_cst);
+  }
+
+  std::uint32_t job_tag_ = 0;
+  std::atomic<bool> in_slice_{false};
+  std::atomic<std::uint64_t> slices_completed_{0};
 };
 
 enum class SchedulerMode {
@@ -107,6 +150,21 @@ class Scheduler {
     return steal_extras_.load(std::memory_order_relaxed);
   }
 
+  /// Per-job fair-share budget, in slices (stealing mode). When nonzero, a
+  /// worker that has run `slices` consecutive slices of the same job tag
+  /// services the FIFO ends (injector, then its own deque's far end)
+  /// before its local LIFO end — the 61-slice fairness tick generalized so
+  /// a resident job cannot monopolize a worker between ticks. 0 (the
+  /// default) disables the per-job trigger; single-job engine runs keep
+  /// the plain fairness tick. Settable at any time (GraphService sets it
+  /// once at startup from GPSA_SERVICE_FAIR_BUDGET).
+  void set_fair_share_budget(std::uint64_t slices) {
+    fair_budget_.store(slices, std::memory_order_relaxed);
+  }
+  std::uint64_t fair_share_budget() const {
+    return fair_budget_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-worker scheduling state. Only `deque` and `epoch` are shared;
   /// `tick` and `rng_state` are owner-private.
@@ -118,6 +176,10 @@ class Scheduler {
     std::atomic<std::uint32_t> epoch{0};
     std::uint64_t tick = 0;
     std::uint64_t rng_state;
+    /// Job tag of the last slice this worker ran and the consecutive
+    /// same-job run length (per-job fair-share budget; owner-private).
+    std::uint32_t last_job_tag = 0;
+    std::uint64_t job_run_len = 0;
   };
 
   void worker_loop_global(unsigned index);
@@ -136,6 +198,7 @@ class Scheduler {
   std::atomic<std::uint64_t> slices_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> steal_extras_{0};
+  std::atomic<std::uint64_t> fair_budget_{0};
 
   // --- kGlobalQueue state -------------------------------------------------
   Mutex mutex_;

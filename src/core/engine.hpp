@@ -104,8 +104,15 @@ struct RunResult {
   std::uint64_t total_messages = 0;
   std::uint64_t total_updates = 0;
   bool converged = false;
+  /// True when a GraphService cancel request stopped the run at a
+  /// superstep boundary; values reflect the completed supersteps.
+  bool cancelled = false;
   double elapsed_seconds = 0.0;
   double preprocess_seconds = 0.0;
+  /// Service-mode latencies (GraphService): submit-to-start queue wait and
+  /// submit-to-completion end-to-end time. Zero for direct Engine runs.
+  double queue_wait_seconds = 0.0;
+  double end_to_end_seconds = 0.0;
   std::vector<double> superstep_seconds;
   std::vector<std::uint64_t> superstep_messages;
   std::vector<std::uint64_t> superstep_updates;

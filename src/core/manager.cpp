@@ -10,12 +10,16 @@ namespace gpsa {
 ManagerActor::ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
                            bool checkpoint_each_superstep,
                            bool terminate_on_zero_updates,
-                           MessageBatchPool* pool)
+                           MessageBatchPool* pool,
+                           const std::atomic<bool>* cancel,
+                           std::atomic<std::uint64_t>* progress)
     : values_(values),
       max_supersteps_(max_supersteps),
       checkpoint_each_superstep_(checkpoint_each_superstep),
       terminate_on_zero_updates_(terminate_on_zero_updates),
-      pool_(pool) {}
+      pool_(pool),
+      cancel_(cancel),
+      progress_(progress) {}
 
 void ManagerActor::connect(std::vector<DispatcherActor*> dispatchers,
                            std::vector<ComputerActor*> computers) {
@@ -105,6 +109,9 @@ void ManagerActor::finish_superstep() {
   if (pool_ != nullptr) {
     pool_->mark_superstep();  // closes the pool's warm-up window
   }
+  if (progress_ != nullptr) {
+    progress_->fetch_add(1);
+  }
 
   if (checkpoint_each_superstep_) {
     values_.checkpoint(superstep_).expect_ok();
@@ -113,6 +120,11 @@ void ManagerActor::finish_superstep() {
   if (superstep_message_count_ == 0 ||
       (terminate_on_zero_updates_ && superstep_update_count_ == 0)) {
     finish_run(/*converged=*/true);
+    return;
+  }
+  if (cancel_ != nullptr && cancel_->load()) {
+    result_.cancelled = true;
+    finish_run(/*converged=*/false);
     return;
   }
   const std::uint64_t executed = result_.superstep_seconds.size();

@@ -16,6 +16,7 @@
 // benchmark harness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <vector>
@@ -38,6 +39,9 @@ struct ManagerResult {
   std::uint64_t total_updates = 0;
   bool converged = false;  // true: zero-message quiescence; false: budget
   bool failed = false;     // a worker's user hook threw; `error` explains
+  /// True when a cooperative cancel request (GraphService) stopped the run
+  /// at a superstep boundary; values reflect the completed supersteps.
+  bool cancelled = false;
   std::string error;
   std::vector<double> superstep_seconds;
   std::vector<std::uint64_t> superstep_messages;
@@ -56,10 +60,17 @@ class ManagerActor final : public Actor<ManagerMsg> {
   /// updates (needed when dispatch_inactive keeps message counts nonzero
   /// forever). `pool` (may be null) is told about each superstep boundary
   /// so MessagePoolStats can split warm-up misses from steady-state ones.
+  /// `cancel` (may be null) is polled at each superstep boundary: once it
+  /// reads true the run winds down cleanly with `cancelled` set.
+  /// `progress` (may be null) is bumped once per completed superstep so a
+  /// service front-end can observe a resident job's liveness without
+  /// waiting for the result.
   ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
                bool checkpoint_each_superstep,
                bool terminate_on_zero_updates = false,
-               MessageBatchPool* pool = nullptr);
+               MessageBatchPool* pool = nullptr,
+               const std::atomic<bool>* cancel = nullptr,
+               std::atomic<std::uint64_t>* progress = nullptr);
 
   void connect(std::vector<DispatcherActor*> dispatchers,
                std::vector<ComputerActor*> computers);
@@ -80,6 +91,8 @@ class ManagerActor final : public Actor<ManagerMsg> {
   const bool checkpoint_each_superstep_;
   const bool terminate_on_zero_updates_;
   MessageBatchPool* const pool_;
+  const std::atomic<bool>* const cancel_;
+  std::atomic<std::uint64_t>* const progress_;
 
   std::vector<DispatcherActor*> dispatchers_;
   std::vector<ComputerActor*> computers_;

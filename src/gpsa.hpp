@@ -28,6 +28,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "service/graph_service.hpp"
 #include "storage/recovery.hpp"
 #include "storage/slot.hpp"
 #include "storage/value_file.hpp"

@@ -76,6 +76,9 @@ inline Status corrupt_data(std::string msg) {
 inline Status failed_precondition(std::string msg) {
   return Status(StatusCode::kFailedPrecondition, std::move(msg));
 }
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
 inline Status internal_error(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <thread>
 #include <utility>
@@ -827,7 +828,7 @@ class StealLeaf final : public Schedulable {
 /// testing the batching policy.
 class StealFlooder final : public Schedulable {
  public:
-  StealFlooder(Scheduler& scheduler, std::vector<StealLeaf>& leaves,
+  StealFlooder(Scheduler& scheduler, std::deque<StealLeaf>& leaves,
                std::atomic<int>& done)
       : scheduler_(scheduler),
         leaves_(leaves),
@@ -850,7 +851,7 @@ class StealFlooder final : public Schedulable {
 
  private:
   Scheduler& scheduler_;
-  std::vector<StealLeaf>& leaves_;
+  std::deque<StealLeaf>& leaves_;
   std::atomic<int>& done_;
   const std::uint64_t extras_baseline_;
 };
@@ -868,8 +869,12 @@ TEST(StealSizing, DeepBacklogsMigrateBatchedExtras) {
        round < kMaxRounds && scheduler.steal_extras_migrated() == 0;
        ++round) {
     std::atomic<int> done{0};
-    std::vector<StealLeaf> leaves(static_cast<std::size_t>(kLeaves),
-                                  StealLeaf(done));
+    // deque: Schedulable's slice bookkeeping atomics make units
+    // non-copyable, and deque::emplace_back never relocates elements.
+    std::deque<StealLeaf> leaves;
+    for (int i = 0; i < kLeaves; ++i) {
+      leaves.emplace_back(done);
+    }
     StealFlooder flooder(scheduler, leaves, done);
     scheduler.enqueue(&flooder);
     while (done.load(std::memory_order_acquire) < kLeaves + 1) {
@@ -885,7 +890,7 @@ TEST(StealSizing, DeepBacklogsMigrateBatchedExtras) {
 /// ever deeper than two when a thief inspects it.
 class StealDripper final : public Schedulable {
  public:
-  StealDripper(Scheduler& scheduler, std::vector<StealLeaf>& leaves,
+  StealDripper(Scheduler& scheduler, std::deque<StealLeaf>& leaves,
                std::atomic<int>& done)
       : scheduler_(scheduler), leaves_(leaves), done_(done) {}
 
@@ -898,7 +903,7 @@ class StealDripper final : public Schedulable {
 
  private:
   Scheduler& scheduler_;
-  std::vector<StealLeaf>& leaves_;
+  std::deque<StealLeaf>& leaves_;
   std::atomic<int>& done_;
 };
 
@@ -912,7 +917,9 @@ TEST(StealSizing, ShallowBacklogsNeverMigrateExtras) {
   Scheduler scheduler(3, 1, SchedulerMode::kWorkStealing);
   for (int round = 0; round < kRounds; ++round) {
     std::atomic<int> done{0};
-    std::vector<StealLeaf> leaves(2, StealLeaf(done));
+    std::deque<StealLeaf> leaves;
+    leaves.emplace_back(done);
+    leaves.emplace_back(done);
     StealDripper dripper(scheduler, leaves, done);
     scheduler.enqueue(&dripper);
     while (done.load(std::memory_order_acquire) < 3) {
@@ -921,6 +928,145 @@ TEST(StealSizing, ShallowBacklogsNeverMigrateExtras) {
     ASSERT_EQ(scheduler.steal_extras_migrated(), 0u) << "round " << round;
   }
   scheduler.stop();
+}
+
+// --- 7. Job-namespace despawn races ------------------------------------------
+//
+// GraphService retires a finished job's actor group with
+// ActorSystem::despawn_job while other jobs keep executing on the same
+// scheduler. The quiescence protocol (scheduler.hpp slice brackets +
+// Schedulable::quiescent) must guarantee no worker still holds — or can
+// re-acquire — a pointer into the freed group. A protocol hole here is a
+// use-after-free that only an interleaving-heavy shape surfaces, so these
+// run in the sanitizer matrix (ASan catches the freed access, TSan the
+// racing claim).
+
+/// Counts messages into an external atomic (it outlives the actor).
+class DespawnCounter final : public Actor<int> {
+ public:
+  explicit DespawnCounter(std::atomic<int>& hits) : hits_(hits) {}
+
+ protected:
+  void on_message(int) override {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int>& hits_;
+};
+
+/// Self-perpetuating resident: every delivery re-sends, so its job keeps
+/// slices in flight on the shared workers for the whole test.
+class DespawnResident final : public Actor<int> {
+ public:
+  std::atomic<std::uint64_t> pings{0};
+  std::atomic<bool> stop{false};
+
+ protected:
+  void on_message(int v) override {
+    pings.fetch_add(1, std::memory_order_relaxed);
+    if (!stop.load(std::memory_order_relaxed)) {
+      send(v + 1);
+    }
+  }
+};
+
+TEST(JobDespawn, ChurnAgainstResidentJobFreesNoLiveActor) {
+  // Several threads spawn short-lived jobs (each under its own tag, per
+  // the one-despawner-per-job contract), flood them, and despawn them
+  // while a resident job keeps every worker busy. despawn_job must drain
+  // each group — after it returns, every message sent to the group has
+  // been counted and the memory is gone.
+  constexpr int kChurners = 3;
+  constexpr int kIterations = 60 / kScaleDivisor;
+  constexpr int kActorsPerJob = 3;
+  constexpr int kMessagesPerActor = 40;
+  ActorSystem system(4, 16, SchedulerMode::kWorkStealing);
+  auto* resident = system.spawn_in_job<DespawnResident>(1);
+  resident->send(0);
+
+  std::vector<std::thread> churners;
+  churners.reserve(kChurners);
+  for (int c = 0; c < kChurners; ++c) {
+    churners.emplace_back([&system, c] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        const std::uint32_t job =
+            2 + static_cast<std::uint32_t>(c) * kIterations +
+            static_cast<std::uint32_t>(iter);
+        std::atomic<int> hits{0};
+        std::vector<DespawnCounter*> group;
+        group.reserve(kActorsPerJob);
+        for (int a = 0; a < kActorsPerJob; ++a) {
+          group.push_back(system.spawn_in_job<DespawnCounter>(job, hits));
+        }
+        for (DespawnCounter* actor : group) {
+          for (int m = 0; m < kMessagesPerActor; ++m) {
+            actor->send(m);
+          }
+        }
+        // No drain barrier: despawn_job itself must wait out the backlog
+        // (a non-empty mailbox keeps the actor non-idle, hence
+        // non-quiescent).
+        system.despawn_job(job);
+        EXPECT_EQ(hits.load(std::memory_order_relaxed),
+                  kActorsPerJob * kMessagesPerActor)
+            << "churner " << c << " iteration " << iter;
+      }
+    });
+  }
+  for (auto& t : churners) {
+    t.join();
+  }
+
+  // The resident job survived the churn and is still making progress.
+  const std::uint64_t before = resident->pings.load(std::memory_order_relaxed);
+  while (resident->pings.load(std::memory_order_relaxed) == before) {
+    std::this_thread::yield();
+  }
+  resident->stop.store(true, std::memory_order_relaxed);
+  system.shutdown();
+}
+
+/// Parks inside its slice long enough for the main thread to observably
+/// race despawn_job against the in-flight execution.
+class SlowSliceActor final : public Actor<int> {
+ public:
+  SlowSliceActor(std::atomic<bool>& entered, std::atomic<int>& completed)
+      : entered_(entered), completed_(completed) {}
+
+ protected:
+  void on_message(int) override {
+    entered_.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    completed_.fetch_add(1);
+  }
+
+ private:
+  std::atomic<bool>& entered_;
+  std::atomic<int>& completed_;
+};
+
+TEST(JobDespawn, DespawnBlocksUntilInFlightSliceCompletes) {
+  // The despawner arrives while a worker is provably inside the victim's
+  // execute_batch (entered_ set, slice sleep still running). The slice
+  // brackets make the group non-quiescent, so despawn_job must block;
+  // returning early would free the actor under the worker's feet (the
+  // pending completed_ bump would then write through a freed `this`).
+  constexpr int kRounds = 20 / kScaleDivisor + 2;
+  ActorSystem system(2, 16, SchedulerMode::kWorkStealing);
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint32_t job = 1 + static_cast<std::uint32_t>(round);
+    std::atomic<bool> entered{false};
+    std::atomic<int> completed{0};
+    auto* actor = system.spawn_in_job<SlowSliceActor>(job, entered, completed);
+    actor->send(0);
+    while (!entered.load()) {
+      std::this_thread::yield();
+    }
+    system.despawn_job(job);
+    ASSERT_EQ(completed.load(), 1) << "round " << round;
+  }
+  system.shutdown();
 }
 
 }  // namespace
