@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate on the real network data plane (bench_cluster_scaleout's `net`
+section): a 3-process localhost cluster run over sockets must reproduce
+the in-process simulation exactly, and the measured wire traffic must
+stay within a sane factor of the simulation's frame-accurate model.
+
+Checks, in order:
+  - every rank process exited cleanly and rank 0 produced a report;
+  - the multi-process value vector is bit-identical to the in-process
+    simulation's (the protocol's central correctness claim);
+  - supersteps and cluster-wide message totals match the simulation
+    (the barrier counted exactly what the in-process manager counted);
+  - measured bytes-on-wire are real: > 0, >= the modeled batch-frame
+    bytes (control frames only add), and <= model * max_factor (a blowup
+    means the transport is resending, padding, or double-counting);
+  - the per-superstep wire series covers every superstep and its sum
+    never exceeds the measured total.
+
+Usage: check_cluster_net.py <bench_cluster_scaleout.json> <max_factor>
+"""
+import sys
+
+from gpsa_gate import Gate, gate_main
+
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    max_factor = float(args[0])
+    net = report.get("net")
+    if not net:
+        gate.fatal("report has no `net` section — the multi-process run "
+                   "never happened")
+
+    gate.note(f"{net['ranks']} ranks, {net['supersteps']} supersteps, "
+              f"{net['total_messages']} messages, "
+              f"{net['measured_bytes_on_wire']} bytes on wire in "
+              f"{net['elapsed_seconds']:.3f}s")
+
+    gate.require(net.get("children_ok", False),
+                 "a rank process exited abnormally")
+    gate.require(net.get("bit_identity", False),
+                 "multi-process values diverged from the in-process "
+                 "simulation")
+    gate.require(net["supersteps"] == net["modeled_supersteps"],
+                 f"superstep count diverged: measured {net['supersteps']} "
+                 f"vs modeled {net['modeled_supersteps']}")
+    gate.require(net["total_messages"] == net["modeled_total_messages"],
+                 f"message total diverged: measured {net['total_messages']} "
+                 f"vs modeled {net['modeled_total_messages']}")
+
+    measured = net["measured_bytes_on_wire"]
+    modeled = net["modeled_bytes_on_wire"]
+    gate.require(measured > 0, "no bytes were measured on the wire")
+    gate.require(net["measured_frames"] > 0, "no frames were measured")
+    if modeled <= 0:
+        gate.fatal("modeled bytes-on-wire is zero — the wire model has no "
+                   "baseline to compare against")
+    factor = measured / modeled
+    gate.check_min("measured/modeled wire bytes", factor, 1.0,
+                   "measured less traffic than the batch-frame model — "
+                   "frames are being dropped or not counted")
+    gate.check_max("measured/modeled wire bytes", factor, max_factor,
+                   "wire traffic blew past the model — resends, padding, "
+                   "or double counting")
+
+    series = net.get("superstep_wire_bytes", [])
+    gate.require(len(series) == net["supersteps"],
+                 f"per-superstep wire series has {len(series)} entries for "
+                 f"{net['supersteps']} supersteps")
+    gate.require(sum(series) <= measured,
+                 "per-superstep wire series sums past the measured total")
+
+
+if __name__ == "__main__":
+    sys.exit(gate_main(__doc__, check, min_args=2, max_args=2))

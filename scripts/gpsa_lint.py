@@ -30,6 +30,11 @@ express and clang-tidy does not know about:
   raw-io           raw mmap/munmap/pread/pwrite/madvise/posix_fadvise
                    outside src/platform/ and src/io/, where the RAII
                    wrappers and error-status plumbing live.
+  raw-socket       raw socket-family syscalls (::socket/::connect/::send
+                   /::recv/...) outside src/net/, where the Socket RAII
+                   wrapper, Status-carrying error paths, and the framing
+                   codec live. Everything above the transport speaks
+                   frames, not file descriptors.
   msg-buffer-alloc sized allocation (reserve/resize/sized construction)
                    of std::vector<VertexMessage> batch buffers outside
                    src/core/message_pool.*. Batch capacity must come from
@@ -84,6 +89,9 @@ RAW_IO_ALLOWED = (
     "src/io/",
 )
 
+# The transport layer is the one sanctioned home for socket syscalls.
+RAW_SOCKET_ALLOWED = ("src/net/",)
+
 # The pool is the one sanctioned VertexMessage buffer allocation site.
 MSG_BUFFER_ALLOC_ALLOWED = (
     "src/core/message_pool.hpp",
@@ -91,7 +99,8 @@ MSG_BUFFER_ALLOC_ALLOWED = (
 )
 
 RULES = ("memory-order", "slot-atomic-ref", "bitmap-atomic-ref",
-         "locked-notify", "check-macro", "raw-io", "msg-buffer-alloc")
+         "locked-notify", "check-macro", "raw-io", "raw-socket",
+         "msg-buffer-alloc")
 
 MARKER_RE = re.compile(r"//\s*gpsa-lint:\s*locked-notify\b")
 ALLOW_RE = re.compile(r"//\s*gpsa-lint:\s*allow\(([a-z-]+)\)")
@@ -103,6 +112,13 @@ BITMAP_ATOMIC_REF_RE = re.compile(
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 RAW_IO_RE = re.compile(
     r"(?<![\w.>])(mmap|munmap|pread|pwrite|madvise|posix_fadvise)\s*\(")
+# ::-qualified socket-family syscalls. The negative lookbehind keeps
+# `Foo::connect(` member definitions and `obj.send(` calls out; only the
+# global-namespace `::socket(fd, ...)` form is the syscall.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w>])::\s*(socket|connect|accept4?|bind|listen|setsockopt"
+    r"|getsockopt|getsockname|send|recv|sendto|recvfrom|sendmsg|recvmsg"
+    r"|shutdown)\s*\(")
 
 # Declarations of VertexMessage batch buffers (plain, nested-in-vector,
 # reference, rvalue-reference, pointer): captures the declared name.
@@ -352,6 +368,15 @@ def lint_file(path: Path, rel: str):
                 f"raw {m.group(1)}() outside src/platform/ and src/io/; "
                 "go through MmapFile / the io backends so errors carry "
                 "Status and mappings are RAII-owned")
+
+    if not path_exempt(rel, RAW_SOCKET_ALLOWED):
+        for m in RAW_SOCKET_RE.finditer(stripped):
+            yield from emit(
+                "raw-socket", line_of(stripped, m.start()),
+                f"raw ::{m.group(1)}() outside src/net/; go through the "
+                "Socket wrapper and frame codec so descriptors are "
+                "RAII-owned, errors carry Status, and every byte on the "
+                "wire is a checksummed frame")
 
     if not path_exempt(rel, MSG_BUFFER_ALLOC_ALLOWED):
         seen = set()

@@ -106,6 +106,18 @@ def service_report() -> dict:
             "results_identical": True}
 
 
+def cluster_net_report() -> dict:
+    return {"bench": "cluster_scaleout",
+            "net": {"ranks": 3, "children_ok": True, "bit_identity": True,
+                    "supersteps": 5, "total_messages": 76212,
+                    "measured_bytes_on_wire": 419408, "measured_frames": 80,
+                    "modeled_supersteps": 5, "modeled_total_messages": 76212,
+                    "modeled_bytes_on_wire": 416952, "modeled_frames": 30,
+                    "elapsed_seconds": 0.13,
+                    "superstep_wire_bytes": [84396, 83732, 83732, 83732,
+                                             83732]}}
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="gpsa_gate_test") as tmpdir:
         tmp = Path(tmpdir)
@@ -164,6 +176,26 @@ def main() -> int:
                 "unclean-cancel": lambda r: (
                     r.update(resident_cancelled_cleanly=False),
                     ["500", "20"])[1],
+            }, tmp)
+
+        check_gate(
+            "cluster_net", "check_cluster_net.py", cluster_net_report(),
+            ["2.0"],
+            {
+                "factor-over-limit": lambda r: ["1.001"],
+                "values-diverged": lambda r: (
+                    r["net"].update(bit_identity=False), ["2.0"])[1],
+                "dead-rank": lambda r: (
+                    r["net"].update(children_ok=False), ["2.0"])[1],
+                "superstep-mismatch": lambda r: (
+                    r["net"].update(modeled_supersteps=4), ["2.0"])[1],
+                "message-mismatch": lambda r: (
+                    r["net"].update(modeled_total_messages=1), ["2.0"])[1],
+                "under-model": lambda r: (
+                    r["net"].update(measured_bytes_on_wire=100),
+                    ["2.0"])[1],
+                "short-series": lambda r: (
+                    r["net"]["superstep_wire_bytes"].pop(), ["2.0"])[1],
             }, tmp)
 
     if failures:

@@ -26,6 +26,7 @@ EXPECTED = {
     "bad_locked_notify.cpp": ("locked-notify", 22),
     "bad_assert.cpp": ("check-macro", 7),
     "bad_raw_io.cpp": ("raw-io", 6),
+    "bad_raw_socket.cpp": ("raw-socket", 7),
     "bad_msg_buffer_alloc.cpp": ("msg-buffer-alloc", 11),
 }
 

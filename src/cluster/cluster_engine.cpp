@@ -3,7 +3,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <bit>
 #include <filesystem>
 #include <future>
 #include <limits>
@@ -11,11 +10,11 @@
 #include <optional>
 
 #include "actor/actor_system.hpp"
+#include "cluster/node_state.hpp"
 #include "core/message_pool.hpp"
 #include "core/messages.hpp"
 #include "core/ownership.hpp"
 #include "graph/csr.hpp"
-#include "storage/active_bitmap.hpp"
 #include "storage/slot.hpp"
 #include "storage/value_file.hpp"
 #include "util/check.hpp"
@@ -29,83 +28,6 @@ namespace {
 // is only ever set inside a freshly forked, single-threaded child.
 int g_checkpoint_crash_after_flushes = -1;
 
-/// One simulated node's vertex state: the same two-column slot protocol
-/// as the single-machine value file, held in node-local memory — or, when
-/// ClusterOptions::value_store_dir is set, in a real per-node value file
-/// constructed through the I/O backend (slots indexed node-locally, so
-/// each file covers exactly the node's slice as it would on a real node).
-struct NodeState {
-  VertexId begin = 0;
-  VertexId end = 0;
-  std::vector<Slot> columns[2];
-  std::vector<std::uint8_t> latest;
-  std::optional<ValueFile> file;
-  /// Worklist mode: node-local active bitmap over [0, end-begin). The
-  /// node's computer publishes activations (local index, update column's
-  /// generation); the node's dispatcher drains and clears. Activation
-  /// state never crosses nodes — the message itself carries it.
-  std::optional<ActiveBitmap> worklist;
-  /// Delta programs: per-local-vertex value as of its last dispatch
-  /// (written only by this node's dispatcher). Empty otherwise.
-  std::vector<Payload> last_sent;
-
-  void init(VertexId begin_vertex, VertexId end_vertex,
-            const Program& program, VertexId num_vertices) {
-    begin = begin_vertex;
-    end = end_vertex;
-    const std::size_t size = end - begin;
-    columns[0].resize(size);
-    columns[1].resize(size);
-    latest.assign(size, 0);
-    for (VertexId v = begin; v < end; ++v) {
-      const Program::InitialState st = program.init(v, num_vertices);
-      columns[0][v - begin] = make_slot(st.value, !st.active);
-      columns[1][v - begin] = make_slot(st.value, true);
-    }
-  }
-
-  Status init_file_backed(IoBackend& backend, const std::string& path,
-                          VertexId begin_vertex, VertexId end_vertex,
-                          const Program& program, VertexId num_vertices) {
-    begin = begin_vertex;
-    end = end_vertex;
-    const VertexId size = end - begin;
-    latest.assign(size, 0);
-    if (size == 0) {
-      return Status::ok();  // nothing to own; keep the (empty) vectors
-    }
-    GPSA_ASSIGN_OR_RETURN(ValueFile f,
-                          backend.create_value_file(path, size, program.name()));
-    for (VertexId v = begin; v < end; ++v) {
-      const Program::InitialState st = program.init(v, num_vertices);
-      f.store(v - begin, 0, make_slot(st.value, !st.active));
-      f.store(v - begin, 1, make_slot(st.value, true));
-    }
-    file.emplace(std::move(f));
-    return Status::ok();
-  }
-
-  Slot load(VertexId v, unsigned column) const {
-    if (file) {
-      return file->load(v - begin, column);
-    }
-    return slot_load_relaxed(columns[column][v - begin]);
-  }
-  void store(VertexId v, unsigned column, Slot value) {
-    if (file) {
-      file->store(v - begin, column, value);
-      return;
-    }
-    slot_store_relaxed(columns[column][v - begin], value);
-  }
-  Slot consume(VertexId v, unsigned column) {
-    if (file) {
-      return file->consume(v - begin, column);
-    }
-    return slot_consume_relaxed(columns[column][v - begin]);
-  }
-};
-
 class ClusterManager;
 class ClusterComputer;
 
@@ -114,11 +36,16 @@ class ClusterComputer;
 // single-machine message plane routes with, here doubling as the
 // per-node store layout (each node's value store covers exactly its
 // owner slice, indexed by OwnerMap::local_index).
+//
+// The per-node state, dispatch loop, and apply order all live in
+// cluster/node_state.hpp, shared with the socket data plane
+// (cluster_net.cpp) — the sharing is what makes the two engines
+// bit-identical and this simulation a usable oracle.
 
 class ClusterComputer final : public Actor<ComputerMsg> {
  public:
-  ClusterComputer(std::uint32_t node, NodeState& state, const Program& program,
-                  MessageBatchPool& pool)
+  ClusterComputer(std::uint32_t node, ClusterNodeState& state,
+                  const Program& program, MessageBatchPool& pool)
       : node_(node), state_(state), program_(program), pool_(pool) {}
 
   void connect(ClusterManager* manager) { manager_ = manager; }
@@ -129,40 +56,32 @@ class ClusterComputer final : public Actor<ComputerMsg> {
   void on_message(ComputerMsg msg) override;
 
  private:
-  void apply(const VertexMessage& message, std::uint64_t superstep);
-
   const std::uint32_t node_;
-  NodeState& state_;
+  ClusterNodeState& state_;
   const Program& program_;
   MessageBatchPool& pool_;
   ClusterManager* manager_ = nullptr;
-  std::uint64_t updates_this_superstep_ = 0;
+  /// Batches buffered until the superstep boundary; applied in canonical
+  /// (src_node, seq) order by apply_tagged_batches. Mailbox causality
+  /// guarantees completeness: a dispatcher's batches are enqueued before
+  /// its DISPATCH_OVER ack, which precedes the manager's COMPUTE_OVER.
+  std::vector<TaggedBatch> pending_;
   std::uint64_t received_total_ = 0;
 };
 
 class ClusterDispatcher final : public Actor<DispatcherMsg> {
  public:
-  ClusterDispatcher(std::uint32_t node, NodeState& state, const Csr& graph,
-                    const Program& program, const OwnerMap& owners,
-                    MessageBatchPool& pool, std::size_t batch_size)
+  ClusterDispatcher(std::uint32_t node, ClusterNodeState& state,
+                    const Csr& graph, const Program& program,
+                    const OwnerMap& owners, MessageBatchPool& pool,
+                    std::size_t batch_size)
       : node_(node),
-        state_(state),
-        graph_(graph),
-        program_(program),
-        owners_(owners),
-        pool_(pool),
-        batch_size_(batch_size) {}
+        core_(node, state, graph, program, owners, pool, batch_size) {}
 
   void connect(std::vector<ClusterComputer*> computers,
                ClusterManager* manager) {
     computers_ = std::move(computers);
     manager_ = manager;
-    // One-time setup of the empty per-node staging slots; the element
-    // buffers circulate through the pool.
-    staging_.resize(computers_.size());  // gpsa-lint: allow(msg-buffer-alloc)
-    for (auto& buffer : staging_) {
-      buffer = pool_.lease();
-    }
   }
 
   std::uint64_t sent_total() const { return sent_total_; }
@@ -174,21 +93,11 @@ class ClusterDispatcher final : public Actor<DispatcherMsg> {
 
  private:
   void run_iteration(std::uint64_t superstep);
-  /// Generates and stages one active vertex's out-messages.
-  void dispatch_vertex(VertexId v, Payload value, std::uint64_t superstep);
-  void flush(std::size_t node, std::uint64_t superstep);
 
   const std::uint32_t node_;
-  NodeState& state_;
-  const Csr& graph_;
-  const Program& program_;
-  const OwnerMap& owners_;
-  MessageBatchPool& pool_;
-  const std::size_t batch_size_;
+  NodeDispatchCore core_;
   std::vector<ClusterComputer*> computers_;
   ClusterManager* manager_ = nullptr;
-  std::vector<std::vector<VertexMessage>> staging_;
-  std::uint64_t messages_this_superstep_ = 0;
   std::uint64_t sent_total_ = 0;
   std::uint64_t remote_messages_ = 0;
   std::uint64_t remote_batches_ = 0;
@@ -207,6 +116,9 @@ class ClusterManager final : public Actor<ManagerMsg> {
   struct Outcome {
     std::uint64_t supersteps = 0;
     std::uint64_t total_messages = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t wire_frames = 0;
+    std::vector<std::uint64_t> superstep_wire_bytes;
     bool converged = false;
   };
   std::future<Outcome> future() { return promise_.get_future(); }
@@ -231,6 +143,8 @@ class ClusterManager final : public Actor<ManagerMsg> {
         break;
       case ManagerMsg::Kind::kDispatchOver:
         superstep_messages_ += msg.count;
+        superstep_wire_ += msg.wire_bytes;
+        superstep_frames_ += msg.wire_frames;
         if (++dispatch_acks_ == dispatchers_.size()) {
           for (ClusterComputer* computer : computers_) {
             ComputerMsg over;
@@ -243,6 +157,9 @@ class ClusterManager final : public Actor<ManagerMsg> {
       case ManagerMsg::Kind::kComputeOver:
         if (++compute_acks_ == computers_.size()) {
           outcome_.total_messages += superstep_messages_;
+          outcome_.wire_bytes += superstep_wire_;
+          outcome_.wire_frames += superstep_frames_;
+          outcome_.superstep_wire_bytes.push_back(superstep_wire_);
           ++superstep_;
           ++outcome_.supersteps;
           if (superstep_messages_ == 0) {
@@ -265,6 +182,8 @@ class ClusterManager final : public Actor<ManagerMsg> {
     dispatch_acks_ = 0;
     compute_acks_ = 0;
     superstep_messages_ = 0;
+    superstep_wire_ = 0;
+    superstep_frames_ = 0;
     DispatcherMsg start;
     start.kind = DispatcherMsg::Kind::kIterationStart;
     start.superstep = superstep_;
@@ -296,6 +215,8 @@ class ClusterManager final : public Actor<ManagerMsg> {
   std::size_t dispatch_acks_ = 0;
   std::size_t compute_acks_ = 0;
   std::uint64_t superstep_messages_ = 0;
+  std::uint64_t superstep_wire_ = 0;
+  std::uint64_t superstep_frames_ = 0;
   Outcome outcome_;
   std::promise<Outcome> promise_;
   bool finished_ = false;
@@ -304,55 +225,23 @@ class ClusterManager final : public Actor<ManagerMsg> {
 void ClusterComputer::on_message(ComputerMsg msg) {
   switch (msg.kind) {
     case ComputerMsg::Kind::kBatch:
-      for (const VertexMessage& m : msg.batch) {
-        apply(m, msg.superstep);
-      }
       received_total_ += msg.batch.size();
-      pool_.recycle(std::move(msg.batch));
+      pending_.push_back(
+          TaggedBatch{msg.src_node, msg.seq, std::move(msg.batch)});
       break;
     case ComputerMsg::Kind::kComputeOver: {
+      const std::uint64_t updates = apply_tagged_batches(
+          state_, program_, pending_, msg.superstep, pool_);
       ManagerMsg ack;
       ack.kind = ManagerMsg::Kind::kComputeOver;
       ack.superstep = msg.superstep;
       ack.worker_id = node_;
-      ack.count = updates_this_superstep_;
-      updates_this_superstep_ = 0;
+      ack.count = updates;
       manager_->send(std::move(ack));
       break;
     }
     case ComputerMsg::Kind::kSystemOver:
       break;
-  }
-}
-
-void ClusterComputer::apply(const VertexMessage& message,
-                            std::uint64_t superstep) {
-  const VertexId v = message.dst;
-  GPSA_DCHECK(v >= state_.begin && v < state_.end);
-  const unsigned update_col = ValueFile::update_column(superstep);
-  const Slot current = state_.load(v, update_col);
-  if (slot_is_stale(current)) {
-    const Payload base =
-        slot_payload(state_.load(v, state_.latest[v - state_.begin]));
-    const Payload seed = program_.first_update(v, base);
-    const Payload acc = program_.compute(seed, message.value);
-    const bool updated = program_.changed(base, acc);
-    state_.store(v, update_col, make_slot(updated ? acc : base, !updated));
-    state_.latest[v - state_.begin] = static_cast<std::uint8_t>(update_col);
-    if (updated) {
-      ++updates_this_superstep_;
-      // Bit and stale flag publish together (the same lock-step as the
-      // single-machine ComputerActor::apply).
-      if (state_.worklist.has_value()) {
-        state_.worklist->set(v - state_.begin, update_col);
-      }
-    }
-    return;
-  }
-  const Payload seed = slot_payload(current);
-  const Payload acc = program_.compute(seed, message.value);
-  if (acc != seed) {
-    state_.store(v, update_col, make_slot(acc, /*stale=*/false));
   }
 }
 
@@ -367,92 +256,28 @@ void ClusterDispatcher::on_message(DispatcherMsg msg) {
 }
 
 void ClusterDispatcher::run_iteration(std::uint64_t superstep) {
-  messages_this_superstep_ = 0;
-  const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
-  if (state_.worklist.has_value()) {
-    // Worklist: only the set bits of the dispatch generation, O(active).
-    ActiveBitmap& wl = *state_.worklist;
-    const VertexId local_size = state_.end - state_.begin;
-    if (local_size > 0) {
-      const std::size_t last = ActiveBitmap::word_index(local_size - 1);
-      for (std::size_t w = 0; w <= last; ++w) {
-        BitmapWord bits = wl.word(dispatch_col, w) &
-                          ActiveBitmap::range_mask(w, 0, local_size);
-        while (bits != 0) {
-          const unsigned bit =
-              static_cast<unsigned>(std::countr_zero(bits));
-          bits &= bits - 1;
-          const VertexId v = state_.begin +
-                             static_cast<VertexId>(w) * kBitmapWordBits + bit;
-          const Slot slot = state_.load(v, dispatch_col);
-          GPSA_DCHECK(!slot_is_stale(slot));
-          dispatch_vertex(v, slot_payload(slot), superstep);
-          state_.consume(v, dispatch_col);
-        }
-      }
-      wl.clear_range(dispatch_col, 0, local_size);
-    }
-  } else {
-    // Sweep: every owned vertex, skipping stale slots, O(local size).
-    for (VertexId v = state_.begin; v < state_.end; ++v) {
-      const Slot slot = state_.load(v, dispatch_col);
-      if (slot_is_stale(slot)) {
-        continue;
-      }
-      dispatch_vertex(v, slot_payload(slot), superstep);
-      state_.consume(v, dispatch_col);
-    }
-  }
-  for (std::size_t node = 0; node < staging_.size(); ++node) {
-    flush(node, superstep);
-  }
-  sent_total_ += messages_this_superstep_;
+  const NodeDispatchCore::IterationStats stats = core_.run_iteration(
+      superstep,
+      [&](unsigned dst, std::uint32_t seq, std::vector<VertexMessage>&& batch) {
+        ComputerMsg msg;
+        msg.kind = ComputerMsg::Kind::kBatch;
+        msg.superstep = superstep;
+        msg.src_node = node_;
+        msg.seq = seq;
+        msg.batch = std::move(batch);
+        computers_[dst]->send(std::move(msg));
+      });
+  sent_total_ += stats.messages;
+  remote_messages_ += stats.remote_messages;
+  remote_batches_ += stats.remote_batches;
   ManagerMsg done;
   done.kind = ManagerMsg::Kind::kDispatchOver;
   done.superstep = superstep;
   done.worker_id = node_;
-  done.count = messages_this_superstep_;
+  done.count = stats.messages;
+  done.wire_bytes = stats.remote_wire_bytes;
+  done.wire_frames = stats.remote_batches;
   manager_->send(std::move(done));
-}
-
-void ClusterDispatcher::dispatch_vertex(VertexId v, Payload value,
-                                        std::uint64_t superstep) {
-  if (!state_.last_sent.empty()) {
-    // Delta program: hand gen_msg the change since v's last dispatch, not
-    // the absolute value (this dispatcher is the plane's single writer).
-    const Payload current = value;
-    value = program_.delta(current, state_.last_sent[v - state_.begin]);
-    state_.last_sent[v - state_.begin] = current;
-  }
-  const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
-  for (VertexId dst : graph_.neighbors(v)) {
-    const Payload message = program_.gen_msg(v, dst, value, degree);
-    const unsigned owner = owners_.owner_of(dst);
-    staging_[owner].push_back(VertexMessage{dst, message});
-    ++messages_this_superstep_;
-    if (owner != node_) {
-      ++remote_messages_;
-    }
-    if (staging_[owner].size() >= batch_size_) {
-      flush(owner, superstep);
-    }
-  }
-}
-
-void ClusterDispatcher::flush(std::size_t node, std::uint64_t superstep) {
-  auto& buffer = staging_[node];
-  if (buffer.empty()) {
-    return;
-  }
-  if (node != node_) {
-    ++remote_batches_;
-  }
-  ComputerMsg msg;
-  msg.kind = ComputerMsg::Kind::kBatch;
-  msg.superstep = superstep;
-  msg.batch = std::move(buffer);
-  buffer = pool_.lease();
-  computers_[node]->send(std::move(msg));
 }
 
 }  // namespace
@@ -509,7 +334,7 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
   }
 
   const ExecMode exec = resolve_exec_mode(options.exec);
-  std::vector<NodeState> states(nodes);
+  std::vector<ClusterNodeState> states(nodes);
   for (unsigned node = 0; node < nodes; ++node) {
     if (backend != nullptr) {
       GPSA_RETURN_IF_ERROR(states[node].init_file_backed(
@@ -521,21 +346,8 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
       states[node].init(intervals[node].begin_vertex,
                         intervals[node].end_vertex, program, n);
     }
-    NodeState& state = states[node];
-    const VertexId local_size = state.end - state.begin;
-    if (exec == ExecMode::kWorklist) {
-      // Seed generation 0 (superstep 0's dispatch column) from the
-      // freshly initialized stale flags.
-      state.worklist.emplace(local_size);
-      for (VertexId v = state.begin; v < state.end; ++v) {
-        if (!slot_is_stale(state.load(v, 0))) {
-          state.worklist->set(v - state.begin, 0);
-        }
-      }
-    }
-    if (program.delta_messages()) {
-      state.last_sent.assign(local_size, Payload{0});
-    }
+    states[node].prepare_exec(exec == ExecMode::kWorklist,
+                              program.delta_messages());
   }
 
   std::uint64_t budget = program.max_supersteps();
@@ -577,11 +389,15 @@ Result<ClusterRunResult> ClusterEngine::run(const EdgeList& graph,
   out.total_messages = outcome.total_messages;
   out.converged = outcome.converged;
   out.elapsed_seconds = timer.elapsed_seconds();
+  out.measured_wire = false;
+  out.bytes_on_wire = outcome.wire_bytes;
+  out.frames_sent = outcome.wire_frames;
+  out.superstep_wire_bytes = outcome.superstep_wire_bytes;
   out.values.resize(n);
   out.node_messages_sent.resize(nodes);
   out.node_messages_received.resize(nodes);
   for (unsigned node = 0; node < nodes; ++node) {
-    const NodeState& state = states[node];
+    const ClusterNodeState& state = states[node];
     for (VertexId v = state.begin; v < state.end; ++v) {
       out.values[v] =
           slot_payload(state.load(v, state.latest[v - state.begin]));

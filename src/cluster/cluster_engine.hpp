@@ -64,8 +64,22 @@ struct ClusterRunResult {
   std::uint64_t remote_messages = 0;  // crossed a node boundary
   std::uint64_t remote_batches = 0;
   double elapsed_seconds = 0.0;
-  /// remote bytes / bandwidth + batches * latency.
+  /// remote bytes / bandwidth + batches * latency — kept as a cross-check
+  /// next to the measured wire metrics below (the bench asserts the two
+  /// agree within a sane factor).
   double modeled_network_seconds = 0.0;
+  /// Wire traffic. In-process simulation: a frame-accurate *model* — the
+  /// exact bytes the remote batches would occupy as BATCH frames
+  /// (measured_wire=false). Socket data plane: *measured* at the
+  /// transports, control frames included, aggregated cluster-wide at rank
+  /// 0 through the superstep barriers (measured_wire=true; non-zero
+  /// ranks report their own share).
+  bool measured_wire = false;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t frames_sent = 0;
+  /// Wire bytes attributed to each superstep (same provenance as
+  /// bytes_on_wire; index = superstep).
+  std::vector<std::uint64_t> superstep_wire_bytes;
   bool converged = false;
   std::vector<Payload> values;
   /// Messages *sent* by each node (dispatch-side load).

@@ -1,0 +1,349 @@
+// The per-node compute core shared by both cluster engines
+// (DESIGN.md §14).
+//
+// ClusterEngine::run (the in-process simulation) and
+// run_cluster_rank (the socket data plane) must produce
+// bit-identical value columns — the simulation is the oracle the
+// multi-process tests diff against, byte for byte, including
+// order-sensitive float programs like PageRank. That only works if both
+// engines share, by construction:
+//
+//   1. the node state itself (ClusterNodeState): the two-column slot
+//      protocol, worklist bitmap, and delta-dispatch memory;
+//   2. the dispatch loop (NodeDispatchCore): identical vertex visit
+//      order, identical batch boundaries, and a per-destination sequence
+//      number stamped on every flushed batch;
+//   3. the apply order: batches are buffered per superstep and applied
+//      sorted by (source node, sequence) — apply_tagged_batches — so the
+//      nondeterministic arrival order (mailbox interleaving in-process,
+//      TCP timing across processes) never reaches the float accumulator.
+//
+// The engines differ only in how a flushed batch travels: a mailbox send
+// in-process, a BATCH wire frame across ranks.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/message_pool.hpp"
+#include "core/messages.hpp"
+#include "core/ownership.hpp"
+#include "core/program.hpp"
+#include "graph/csr.hpp"
+#include "io/io_backend.hpp"
+#include "net/wire_frame.hpp"
+#include "storage/active_bitmap.hpp"
+#include "storage/slot.hpp"
+#include "storage/value_file.hpp"
+#include "util/check.hpp"
+
+namespace gpsa {
+
+/// One node's vertex state: the same two-column slot protocol as the
+/// single-machine value file, held in node-local memory — or, when a
+/// value-store directory is configured, in a real per-node value file
+/// constructed through the I/O backend (slots indexed node-locally, so
+/// each file covers exactly the node's slice as it would on a real node).
+struct ClusterNodeState {
+  VertexId begin = 0;
+  VertexId end = 0;
+  std::vector<Slot> columns[2];
+  std::vector<std::uint8_t> latest;
+  std::optional<ValueFile> file;
+  /// Worklist mode: node-local active bitmap over [0, end-begin). The
+  /// node's computer publishes activations (local index, update column's
+  /// generation); the node's dispatcher drains and clears. Activation
+  /// state never crosses nodes — the message itself carries it.
+  std::optional<ActiveBitmap> worklist;
+  /// Delta programs: per-local-vertex value as of its last dispatch
+  /// (written only by this node's dispatcher). Empty otherwise.
+  std::vector<Payload> last_sent;
+
+  void init(VertexId begin_vertex, VertexId end_vertex,
+            const Program& program, VertexId num_vertices) {
+    begin = begin_vertex;
+    end = end_vertex;
+    const std::size_t size = end - begin;
+    columns[0].resize(size);
+    columns[1].resize(size);
+    latest.assign(size, 0);
+    for (VertexId v = begin; v < end; ++v) {
+      const Program::InitialState st = program.init(v, num_vertices);
+      columns[0][v - begin] = make_slot(st.value, !st.active);
+      columns[1][v - begin] = make_slot(st.value, true);
+    }
+  }
+
+  Status init_file_backed(IoBackend& backend, const std::string& path,
+                          VertexId begin_vertex, VertexId end_vertex,
+                          const Program& program, VertexId num_vertices) {
+    begin = begin_vertex;
+    end = end_vertex;
+    const VertexId size = end - begin;
+    latest.assign(size, 0);
+    if (size == 0) {
+      return Status::ok();  // nothing to own; keep the (empty) vectors
+    }
+    GPSA_ASSIGN_OR_RETURN(ValueFile f,
+                          backend.create_value_file(path, size, program.name()));
+    for (VertexId v = begin; v < end; ++v) {
+      const Program::InitialState st = program.init(v, num_vertices);
+      f.store(v - begin, 0, make_slot(st.value, !st.active));
+      f.store(v - begin, 1, make_slot(st.value, true));
+    }
+    file.emplace(std::move(f));
+    return Status::ok();
+  }
+
+  /// Seeds the worklist / delta memory after init, mirroring the engine
+  /// front-ends (generation 0 = superstep 0's dispatch column).
+  void prepare_exec(bool worklist_mode, bool delta_messages) {
+    const VertexId local_size = end - begin;
+    if (worklist_mode) {
+      worklist.emplace(local_size);
+      for (VertexId v = begin; v < end; ++v) {
+        if (!slot_is_stale(load(v, 0))) {
+          worklist->set(v - begin, 0);
+        }
+      }
+    }
+    if (delta_messages) {
+      last_sent.assign(local_size, Payload{0});
+    }
+  }
+
+  Slot load(VertexId v, unsigned column) const {
+    if (file) {
+      return file->load(v - begin, column);
+    }
+    return slot_load_relaxed(columns[column][v - begin]);
+  }
+  void store(VertexId v, unsigned column, Slot value) {
+    if (file) {
+      file->store(v - begin, column, value);
+      return;
+    }
+    slot_store_relaxed(columns[column][v - begin], value);
+  }
+  Slot consume(VertexId v, unsigned column) {
+    if (file) {
+      return file->consume(v - begin, column);
+    }
+    return slot_consume_relaxed(columns[column][v - begin]);
+  }
+};
+
+/// A flushed batch tagged with its canonical position in the superstep's
+/// apply order: the sending node and that sender's per-destination
+/// sequence number.
+struct TaggedBatch {
+  std::uint32_t src_node = 0;
+  std::uint32_t seq = 0;
+  std::vector<VertexMessage> batch;
+};
+
+/// Applies one message to the update column — the single shared
+/// implementation both engines' computers run. Returns true when the
+/// vertex's value changed (an "update" in the manager's accounting).
+inline bool cluster_apply_message(ClusterNodeState& state,
+                                  const Program& program,
+                                  const VertexMessage& message,
+                                  std::uint64_t superstep) {
+  const VertexId v = message.dst;
+  GPSA_DCHECK(v >= state.begin && v < state.end);
+  const unsigned update_col = ValueFile::update_column(superstep);
+  const Slot current = state.load(v, update_col);
+  if (slot_is_stale(current)) {
+    const Payload base =
+        slot_payload(state.load(v, state.latest[v - state.begin]));
+    const Payload seed = program.first_update(v, base);
+    const Payload acc = program.compute(seed, message.value);
+    const bool updated = program.changed(base, acc);
+    state.store(v, update_col, make_slot(updated ? acc : base, !updated));
+    state.latest[v - state.begin] = static_cast<std::uint8_t>(update_col);
+    if (updated) {
+      // Bit and stale flag publish together (the same lock-step as the
+      // single-machine ComputerActor::apply).
+      if (state.worklist.has_value()) {
+        state.worklist->set(v - state.begin, update_col);
+      }
+      return true;
+    }
+    return false;
+  }
+  const Payload seed = slot_payload(current);
+  const Payload acc = program.compute(seed, message.value);
+  if (acc != seed) {
+    state.store(v, update_col, make_slot(acc, /*stale=*/false));
+  }
+  return false;
+}
+
+/// Superstep-boundary apply in canonical order: sorts the buffered
+/// batches by (src_node, seq), applies every message, recycles the
+/// buffers, and clears the list. Returns the number of updated vertices.
+inline std::uint64_t apply_tagged_batches(ClusterNodeState& state,
+                                          const Program& program,
+                                          std::vector<TaggedBatch>& batches,
+                                          std::uint64_t superstep,
+                                          MessageBatchPool& pool) {
+  std::sort(batches.begin(), batches.end(),
+            [](const TaggedBatch& a, const TaggedBatch& b) {
+              if (a.src_node != b.src_node) {
+                return a.src_node < b.src_node;
+              }
+              return a.seq < b.seq;
+            });
+  std::uint64_t updates = 0;
+  for (TaggedBatch& tagged : batches) {
+    for (const VertexMessage& m : tagged.batch) {
+      if (cluster_apply_message(state, program, m, superstep)) {
+        ++updates;
+      }
+    }
+    pool.recycle(std::move(tagged.batch));
+  }
+  batches.clear();
+  return updates;
+}
+
+/// The dispatch half of a node's superstep, parameterized over how a
+/// flushed batch travels. Visit order (worklist bits ascending / sweep
+/// ascending), batch boundaries, and sequence numbering are fixed here,
+/// so every engine flushes byte-identical batches in the same order.
+class NodeDispatchCore {
+ public:
+  /// `flush(dst_node, seq, batch)`: takes ownership of a leased buffer.
+  using FlushFn =
+      std::function<void(unsigned, std::uint32_t, std::vector<VertexMessage>&&)>;
+
+  struct IterationStats {
+    std::uint64_t messages = 0;        // all messages dispatched
+    std::uint64_t remote_messages = 0; // crossed a node boundary
+    std::uint64_t remote_batches = 0;
+    /// Frame-accurate wire model: one BATCH frame per remote flush.
+    std::uint64_t remote_wire_bytes = 0;
+  };
+
+  NodeDispatchCore(std::uint32_t node, ClusterNodeState& state,
+                   const Csr& graph, const Program& program,
+                   const OwnerMap& owners, MessageBatchPool& pool,
+                   std::size_t batch_size)
+      : node_(node),
+        state_(state),
+        graph_(graph),
+        program_(program),
+        owners_(owners),
+        pool_(pool),
+        batch_size_(batch_size) {
+    // One-time setup of the empty per-node staging slots; the element
+    // buffers circulate through the pool.
+    staging_.resize(owners.parts());  // gpsa-lint: allow(msg-buffer-alloc)
+    seq_.resize(staging_.size());
+    for (auto& buffer : staging_) {
+      buffer = pool_.lease();
+    }
+  }
+
+  IterationStats run_iteration(std::uint64_t superstep, const FlushFn& flush) {
+    stats_ = IterationStats{};
+    std::fill(seq_.begin(), seq_.end(), 0u);
+    const unsigned dispatch_col = ValueFile::dispatch_column(superstep);
+    if (state_.worklist.has_value()) {
+      // Worklist: only the set bits of the dispatch generation, O(active).
+      ActiveBitmap& wl = *state_.worklist;
+      const VertexId local_size = state_.end - state_.begin;
+      if (local_size > 0) {
+        const std::size_t last = ActiveBitmap::word_index(local_size - 1);
+        for (std::size_t w = 0; w <= last; ++w) {
+          BitmapWord bits = wl.word(dispatch_col, w) &
+                            ActiveBitmap::range_mask(w, 0, local_size);
+          while (bits != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const VertexId v = state_.begin +
+                               static_cast<VertexId>(w) * kBitmapWordBits +
+                               bit;
+            const Slot slot = state_.load(v, dispatch_col);
+            GPSA_DCHECK(!slot_is_stale(slot));
+            dispatch_vertex(v, slot_payload(slot), flush);
+            state_.consume(v, dispatch_col);
+          }
+        }
+        wl.clear_range(dispatch_col, 0, local_size);
+      }
+    } else {
+      // Sweep: every owned vertex, skipping stale slots, O(local size).
+      for (VertexId v = state_.begin; v < state_.end; ++v) {
+        const Slot slot = state_.load(v, dispatch_col);
+        if (slot_is_stale(slot)) {
+          continue;
+        }
+        dispatch_vertex(v, slot_payload(slot), flush);
+        state_.consume(v, dispatch_col);
+      }
+    }
+    for (std::size_t node = 0; node < staging_.size(); ++node) {
+      flush_one(node, flush);
+    }
+    return stats_;
+  }
+
+ private:
+  void dispatch_vertex(VertexId v, Payload value, const FlushFn& flush) {
+    if (!state_.last_sent.empty()) {
+      // Delta program: hand gen_msg the change since v's last dispatch,
+      // not the absolute value (this core is the plane's single writer).
+      const Payload current = value;
+      value = program_.delta(current, state_.last_sent[v - state_.begin]);
+      state_.last_sent[v - state_.begin] = current;
+    }
+    const auto degree = static_cast<std::uint32_t>(graph_.out_degree(v));
+    for (VertexId dst : graph_.neighbors(v)) {
+      const Payload message = program_.gen_msg(v, dst, value, degree);
+      const unsigned owner = owners_.owner_of(dst);
+      staging_[owner].push_back(VertexMessage{dst, message});
+      ++stats_.messages;
+      if (owner != node_) {
+        ++stats_.remote_messages;
+      }
+      if (staging_[owner].size() >= batch_size_) {
+        flush_one(owner, flush);
+      }
+    }
+  }
+
+  void flush_one(std::size_t node, const FlushFn& flush) {
+    auto& buffer = staging_[node];
+    if (buffer.empty()) {
+      return;
+    }
+    if (node != node_) {
+      ++stats_.remote_batches;
+      stats_.remote_wire_bytes += batch_frame_wire_bytes(buffer.size());
+    }
+    const std::uint32_t seq = seq_[node]++;
+    std::vector<VertexMessage> out = std::move(buffer);
+    buffer = pool_.lease();
+    flush(static_cast<unsigned>(node), seq, std::move(out));
+  }
+
+  const std::uint32_t node_;
+  ClusterNodeState& state_;
+  const Csr& graph_;
+  const Program& program_;
+  const OwnerMap& owners_;
+  MessageBatchPool& pool_;
+  const std::size_t batch_size_;
+  std::vector<std::vector<VertexMessage>> staging_;
+  std::vector<std::uint32_t> seq_;  // per-destination, reset each superstep
+  IterationStats stats_;
+};
+
+}  // namespace gpsa

@@ -50,6 +50,14 @@ struct ComputerMsg {
   enum class Kind : std::uint8_t { kBatch, kComputeOver, kSystemOver };
   Kind kind = Kind::kBatch;
   std::uint64_t superstep = 0;
+  /// kBatch (cluster engines only): sending node and that sender's batch
+  /// sequence number toward this receiver. Together they define the
+  /// canonical apply order — batches are buffered and applied sorted by
+  /// (src_node, seq) at the superstep boundary, so the in-process
+  /// simulation and the socket data plane produce bit-identical value
+  /// columns even for order-sensitive float programs (DESIGN.md §14).
+  std::uint32_t src_node = 0;
+  std::uint32_t seq = 0;
   std::vector<VertexMessage> batch;  // kBatch only
 };
 
@@ -72,6 +80,13 @@ struct ManagerMsg {
   /// per-superstep offset walk is visible next to the worklist's
   /// O(active) (the work-done metric RunResult surfaces per superstep).
   std::uint64_t edges = 0;
+  /// kDispatchOver, cluster engines only: frame-accurate model of the
+  /// wire traffic this dispatcher's remote batches would cost — one
+  /// BATCH frame per remote flush, batch_frame_wire_bytes() each. The
+  /// manager folds these into the per-superstep wire-byte series that
+  /// the socket data plane measures for real (DESIGN.md §14).
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
   std::string error;  // kWorkerFailed only
 };
 

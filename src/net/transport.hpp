@@ -1,0 +1,140 @@
+// Transport actors + inbound poller: the cluster data plane's two halves
+// (DESIGN.md §14).
+//
+// Outbound: one TransportActor per peer. Sends are ordinary actor sends,
+// so the engine's control thread and dispatch path never block on the
+// network; the actor serializes frames onto its peer's socket with the
+// deadline-driven helpers in socket.hpp. A kBatch message carries a
+// leased MessageBatchPool buffer and goes to the wire as two iovecs —
+// the 32-byte frame prefix (header + superstep) and the buffer's raw
+// bytes — so the lease→wire path copies nothing. Blocking inside
+// on_message is safe here and only here: the peer's dedicated poller
+// thread drains its end regardless of that peer's actor scheduling, so
+// no send-send cycle exists for back-pressure to deadlock on.
+//
+// Inbound: one InboundPoller thread per rank polls every peer socket,
+// feeds the per-link FrameDecoder, and hands completed frames to the
+// engine's handler. EOF / ECONNRESET / decode poisoning surface through
+// the error handler exactly once per peer — the engine's peer-death
+// detection — after which the dead link is dropped from the poll set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "actor/actor.hpp"
+#include "core/message_pool.hpp"
+#include "core/messages.hpp"
+#include "net/socket.hpp"
+#include "net/wire_frame.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+/// Bytes/frames a rank has put on the wire, summed across its transport
+/// actors. Plain seq_cst atomics: incremented once per frame, read at
+/// superstep barriers — nowhere near hot enough to justify weaker orders.
+struct WireMetrics {
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> frames{0};
+};
+
+struct TransportMsg {
+  enum class Kind : std::uint8_t { kBatch, kControl, kFence };
+  Kind kind = Kind::kControl;
+  /// kBatch: superstep tag + canonical batch sequence + leased buffer.
+  std::uint64_t superstep = 0;
+  std::uint32_t seq = 0;
+  std::vector<VertexMessage> batch;
+  /// kControl: frame type + pre-encoded payload.
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+  /// kFence: resolved (with the link's sticky status) once every frame
+  /// queued before it has reached the kernel — the barrier uses this to
+  /// snapshot wire metrics and to bound shutdown.
+  std::shared_ptr<std::promise<Status>> fence;
+};
+
+class TransportActor final : public Actor<TransportMsg> {
+ public:
+  /// `socket` must outlive the actor system; the actor writes, the
+  /// poller reads, nobody else touches the fd. `on_error` fires once on
+  /// the first failed send (engine-side abort propagation).
+  TransportActor(std::uint16_t src_rank, std::uint16_t version,
+                 const Socket* socket, MessageBatchPool* pool,
+                 WireMetrics* metrics, int timeout_ms, bool use_uring,
+                 std::function<void(Status)> on_error);
+
+ protected:
+  void on_message(TransportMsg msg) override;
+
+ private:
+  Status write_batch(std::uint64_t superstep, std::uint32_t seq,
+                     const std::vector<VertexMessage>& batch);
+  Status write_control(FrameType type,
+                       const std::vector<std::uint8_t>& payload);
+
+  const std::uint16_t src_rank_;
+  const std::uint16_t version_;
+  const Socket* socket_;
+  MessageBatchPool* pool_;
+  WireMetrics* metrics_;
+  const int timeout_ms_;
+  std::unique_ptr<UringSender> uring_;
+  std::function<void(Status)> on_error_;
+  std::uint32_t control_seq_ = 0;
+  Status error_;  // sticky: once a send fails the link is dead
+};
+
+/// Polls every live peer socket from one dedicated thread.
+class InboundPoller {
+ public:
+  struct Peer {
+    std::uint32_t rank = 0;
+    const Socket* socket = nullptr;
+    std::uint16_t accept_version = kWireVersionMax;
+    /// Decoder carried over from the handshake. The rendezvous read may
+    /// slurp bytes past the Hello/HelloAck (an early GO broadcast, or
+    /// first batches from a fast peer); handing its decoder to the poller
+    /// keeps those bytes instead of dropping them with a fresh decoder.
+    FrameDecoder decoder{};
+  };
+
+  using FrameHandler = std::function<void(std::uint32_t peer, Frame&&)>;
+  /// Fired at most once per peer: EOF, reset, or decode poisoning.
+  using ErrorHandler = std::function<void(std::uint32_t peer, Status)>;
+
+  InboundPoller(std::vector<Peer> peers, FrameHandler on_frame,
+                ErrorHandler on_error);
+  ~InboundPoller();
+
+  InboundPoller(const InboundPoller&) = delete;
+  InboundPoller& operator=(const InboundPoller&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the thread
+
+ private:
+  struct Link {
+    Peer peer;
+    FrameDecoder decoder;
+    bool dead = false;
+  };
+
+  void run();
+  void drain(Link& link);
+  void decode_buffered(Link& link);
+
+  std::vector<Link> links_;
+  FrameHandler on_frame_;
+  ErrorHandler on_error_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace gpsa

@@ -17,6 +17,7 @@
 //     lock discipline they rely on at the capture site.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -104,6 +105,13 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Timed wait: false when `timeout_ms` elapsed without a notification.
+  /// Callers re-check their predicate either way (same canonical loop as
+  /// wait(), with a deadline cutting the loop off).
+  bool wait_for_ms(MutexLock& lock, int timeout_ms) {
+    return cv_.wait_for(lock.lock_, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

@@ -1,0 +1,20 @@
+// Fixture: exactly one raw-socket finding (line 7). Lint-only, never compiled.
+#include <sys/socket.h>
+
+int connect_without_wrapper(int fd, const sockaddr* addr, unsigned len) {
+  // ::connect in a comment must not fire; neither must this string:
+  // "::socket(".
+  return ::connect(fd, addr, len);
+}
+
+// Member definitions, member calls, and prefixed names must not fire:
+struct Socket {
+  int connect(int fd);
+  int send(int fd);
+};
+int Socket::connect(int fd) { return fd; }
+void member_calls(Socket& s, Socket* p) {
+  s.connect(1);
+  p->send(2);
+  my_connect(3);
+}

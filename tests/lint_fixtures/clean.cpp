@@ -20,6 +20,10 @@ BitmapWord suppressed_bitmap_ref() {
   return std::atomic_ref<BitmapWord>(bitmap_word).load();  // gpsa-lint: allow(bitmap-atomic-ref)
 }
 
+int suppressed_socket(int fd, const sockaddr* addr, unsigned len) {
+  return ::connect(fd, addr, len);  // gpsa-lint: allow(raw-socket)
+}
+
 struct VertexMessage {};
 
 void suppressed_buffer_alloc() {
