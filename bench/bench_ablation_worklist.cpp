@@ -51,9 +51,9 @@ int main() {
     std::uint64_t messages = 0;
     std::uint64_t active = 0;
     std::uint64_t edges_touched = 0;
-    std::vector<std::uint64_t> superstep_active;
-    std::vector<std::uint64_t> superstep_edges;
-    std::vector<Payload> values;
+    std::vector<std::uint64_t> superstep_active{};
+    std::vector<std::uint64_t> superstep_edges{};
+    std::vector<Payload> values{};
   };
   Cell cells[] = {{"sweep", ExecMode::kSweep},
                   {"worklist", ExecMode::kWorklist}};

@@ -20,9 +20,11 @@ express and clang-tidy does not know about:
                    invariant share one audited ordering contract.
   locked-notify    cv.notify_one/notify_all outside a held lock, in files
                    that opt into the locked-notify protocol with a
-                   `// gpsa-lint: locked-notify` marker. Those files pair
-                   a condition variable with an object whose destructor
-                   runs as soon as the predicate flips, so an unlocked
+                   `// gpsa-lint: locked-notify` marker — plus every file
+                   under src/service/ and src/net/, which opt in by path:
+                   both layers pair condition variables with objects whose
+                   destructors run as soon as the predicate flips (job
+                   completion records, connection state), so an unlocked
                    notify can touch a destroyed condition variable.
   check-macro      assert() instead of GPSA_CHECK/GPSA_DCHECK. assert()
                    vanishes under NDEBUG, so release builds silently skip
@@ -42,6 +44,14 @@ express and clang-tidy does not know about:
                    supersteps stay zero-allocation (DESIGN.md §11).
                    Declared buffer names are collected from the file and,
                    for a .cpp, its same-stem .hpp.
+  lease-escape     a MessageBatchPool::lease() result stored straight into
+                   a member (`foo_ = ....lease()`). Parking a leased batch
+                   in a member moves its recycle obligation out of the
+                   leasing function, where the per-function balance check
+                   (gpsa_analyze lease-balance) can no longer see it.
+                   Every such escape needs an ownership note:
+                   `// gpsa-lint: allow(lease-escape)` plus a comment
+                   naming who recycles the batch.
 
 Suppression: append `// gpsa-lint: allow(<rule>)` to the offending line.
 
@@ -78,6 +88,10 @@ MEMORY_ORDER_ALLOWED = (
     "src/storage/slot.hpp",
     "src/io/",
     "src/baselines/",
+    # lockdep's enabled() fast path is a relaxed latch read; its graph
+    # counters are relaxed stats. The audit lives in lockdep.cpp.
+    "src/util/lockdep.hpp",
+    "src/util/lockdep.cpp",
 )
 
 SLOT_ATOMIC_REF_ALLOWED = ("src/storage/slot.hpp",)
@@ -98,9 +112,17 @@ MSG_BUFFER_ALLOC_ALLOWED = (
     "src/core/message_pool.cpp",
 )
 
+# Directories whose files are in the locked-notify protocol by path, no
+# per-file marker needed: service jobs and connection state both die the
+# moment their predicate flips.
+LOCKED_NOTIFY_OPT_IN = (
+    "src/service/",
+    "src/net/",
+)
+
 RULES = ("memory-order", "slot-atomic-ref", "bitmap-atomic-ref",
          "locked-notify", "check-macro", "raw-io", "raw-socket",
-         "msg-buffer-alloc")
+         "msg-buffer-alloc", "lease-escape")
 
 MARKER_RE = re.compile(r"//\s*gpsa-lint:\s*locked-notify\b")
 ALLOW_RE = re.compile(r"//\s*gpsa-lint:\s*allow\(([a-z-]+)\)")
@@ -130,6 +152,12 @@ MSG_VEC_NAME_RE = re.compile(
 # the first character inside the parens must be a real argument.
 MSG_VEC_SIZED_CTOR_RE = re.compile(
     r"vector<\s*(?:gpsa::)?VertexMessage\s*>\s*(?:\w+\s*)?[({]\s*[^)}\s]")
+
+# Member-variable LHS (trailing-underscore convention, optionally
+# indexed) assigned from a lease() call. `(?!=)` keeps `==` comparisons
+# out; the character class spans newlines so wrapped assignments match.
+LEASE_ESCAPE_RE = re.compile(
+    r"\b(\w+_)(?:\[[^\]]*\])?\s*=(?!=)[^;=]*?\blease\s*\(")
 
 LOCK_DECL_RE = re.compile(
     r"\b(?:gpsa::)?(?:MutexLock|std::lock_guard<[^;{}]*?>"
@@ -351,9 +379,17 @@ def lint_file(path: Path, rel: str):
                 "bitmap_word_load/set/clear helpers in "
                 "src/storage/slot.hpp")
 
-    if MARKER_RE.search(text):
+    if MARKER_RE.search(text) or path_exempt(rel, LOCKED_NOTIFY_OPT_IN):
         for line, message in check_locked_notify(stripped):
             yield from emit("locked-notify", line, message)
+
+    for m in LEASE_ESCAPE_RE.finditer(stripped):
+        yield from emit(
+            "lease-escape", line_of(stripped, m.start()),
+            f"lease() result parked in member `{m.group(1)}`; the recycle "
+            "obligation escapes the leasing function and the per-function "
+            "lease-balance check. Add // gpsa-lint: allow(lease-escape) "
+            "with a comment naming who recycles this batch")
 
     for m in ASSERT_RE.finditer(stripped):
         yield from emit(

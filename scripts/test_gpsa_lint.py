@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -28,6 +29,7 @@ EXPECTED = {
     "bad_raw_io.cpp": ("raw-io", 6),
     "bad_raw_socket.cpp": ("raw-socket", 7),
     "bad_msg_buffer_alloc.cpp": ("msg-buffer-alloc", 11),
+    "bad_lease_escape.cpp": ("lease-escape", 16),
 }
 
 failures = []
@@ -93,11 +95,33 @@ def main() -> int:
     expect(len(findings) == len(EXPECTED),
            f"batch run: {len(findings)} findings, want {len(EXPECTED)}")
 
+    # Path-based locked-notify opt-in: the same unlocked notify fires
+    # under src/service/ with no per-file marker, and stays quiet under a
+    # directory that is not in the protocol.
+    notify_src = ("#include <condition_variable>\n"
+                  "std::condition_variable cv;\n"
+                  "void kick() { cv.notify_one(); }\n")
+    with tempfile.TemporaryDirectory() as tmp:
+        for sub, want_rules in (("service", ["locked-notify"]),
+                                ("core", [])):
+            d = Path(tmp) / "src" / sub
+            d.mkdir(parents=True)
+            (d / "kick.cpp").write_text(notify_src)
+            proc = subprocess.run(
+                [sys.executable, str(LINTER), "--json", "--root", tmp],
+                capture_output=True, text=True)
+            rules = sorted(f["rule"]
+                           for f in json.loads(proc.stdout)["findings"])
+            expect(rules == want_rules,
+                   f"path opt-in under src/{sub}/: rules {rules}, "
+                   f"want {want_rules}")
+            (d / "kick.cpp").unlink()
+
     if failures:
         for f in failures:
             print(f"FAIL: {f}")
         return 1
-    print(f"gpsa_lint self-test: {len(EXPECTED) + 3} checks passed")
+    print(f"gpsa_lint self-test: {len(EXPECTED) + 5} checks passed")
     return 0
 
 

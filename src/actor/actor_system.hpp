@@ -84,7 +84,7 @@ class ActorSystem {
   };
 
   Scheduler scheduler_;
-  Mutex mutex_;
+  Mutex mutex_{"ActorSystem.registry"};
   std::vector<Entry> actors_ GPSA_GUARDED_BY(mutex_);
   bool shut_down_ GPSA_GUARDED_BY(mutex_) = false;
 };

@@ -201,14 +201,14 @@ class Scheduler {
   std::atomic<std::uint64_t> fair_budget_{0};
 
   // --- kGlobalQueue state -------------------------------------------------
-  Mutex mutex_;
+  Mutex mutex_{"Scheduler.runq"};
   CondVar cv_;
   std::deque<Schedulable*> run_queue_ GPSA_GUARDED_BY(mutex_);
   bool stopping_ GPSA_GUARDED_BY(mutex_) = false;
 
   // --- kWorkStealing state ------------------------------------------------
   std::vector<std::unique_ptr<Worker>> worker_state_;
-  Mutex injector_mutex_;
+  Mutex injector_mutex_{"Scheduler.injector"};
   std::deque<Schedulable*> injector_ GPSA_GUARDED_BY(injector_mutex_);
   /// Mirror of injector_.size() readable without the lock.
   std::atomic<std::size_t> injector_size_{0};

@@ -490,7 +490,7 @@ class ControlState {
   const std::uint32_t self_;
   MessageBatchPool* pool_;
 
-  Mutex mutex_;
+  Mutex mutex_{"ClusterNet.control"};
   CondVar cv_;
   std::vector<PeerSlot> peers_ GPSA_GUARDED_BY(mutex_);  // [rank]; self unused
   CoordSlot coord_[2] GPSA_GUARDED_BY(mutex_);

@@ -150,7 +150,7 @@ struct TaggedBatch {
 /// Applies one message to the update column — the single shared
 /// implementation both engines' computers run. Returns true when the
 /// vertex's value changed (an "update" in the manager's accounting).
-inline bool cluster_apply_message(ClusterNodeState& state,
+[[nodiscard]] inline bool cluster_apply_message(ClusterNodeState& state,
                                   const Program& program,
                                   const VertexMessage& message,
                                   std::uint64_t superstep) {
@@ -246,7 +246,7 @@ class NodeDispatchCore {
     staging_.resize(owners.parts());  // gpsa-lint: allow(msg-buffer-alloc)
     seq_.resize(staging_.size());
     for (auto& buffer : staging_) {
-      buffer = pool_.lease();
+      buffer = pool_.lease();  // gpsa-analyze: transfer(staging slot; shipped by flush, recycled by the peer's apply)
     }
   }
 

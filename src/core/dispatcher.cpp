@@ -59,7 +59,7 @@ void DispatcherActor::connect(std::vector<ComputerActor*> computers,
     staged_count_.assign(computers_.size(), 0);
   } else {
     for (auto& buffer : staging_) {
-      buffer = pool_.lease();
+      buffer = pool_.lease();  // gpsa-analyze: transfer(staging slot; moved into the mailbox by flush_batch, recycled by the computer)
     }
   }
   radix_shift_.assign(computers_.size(), 0);

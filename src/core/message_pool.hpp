@@ -129,7 +129,7 @@ class MessageBatchPool {
   const std::size_t batch_capacity_;
   const bool enabled_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"MessagePool.free"};
   std::vector<std::vector<VertexMessage>> free_ GPSA_GUARDED_BY(mutex_);
   std::uint64_t leases_ GPSA_GUARDED_BY(mutex_) = 0;
   std::uint64_t hits_ GPSA_GUARDED_BY(mutex_) = 0;

@@ -48,12 +48,12 @@ class BlockLoader {
                           std::function<void(Status)> done) = 0;
 
   /// Blocking read for cache-bypass ranges.
-  virtual Status read_sync(std::uint64_t offset, std::size_t length,
+  [[nodiscard]] virtual Status read_sync(std::uint64_t offset, std::size_t length,
                            std::byte* dest) = 0;
 
   /// True when completions are delivered only via poll()/wait() on the
   /// caller's thread (io_uring); false when they arrive from other threads.
-  virtual bool inline_completion() const = 0;
+  [[nodiscard]] virtual bool inline_completion() const = 0;
 
   /// Reaps any finished completions without blocking (inline loaders).
   virtual void poll() {}
@@ -80,7 +80,7 @@ class IoThreadPool {
  private:
   void worker_loop() GPSA_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{"IoThreadPool.tasks"};
   CondVar cv_;
   std::deque<std::function<void()>> tasks_ GPSA_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
@@ -97,7 +97,7 @@ class BlockCacheStream final : public IoReadStream {
   const std::byte* fetch(std::uint64_t offset, std::size_t length) override;
   void will_need(std::uint64_t offset, std::size_t length) override;
   void drop_behind(std::uint64_t offset) override;
-  Status status() const override;
+  [[nodiscard]] Status status() const override;
   PrefetchCounters counters() const override;
 
  private:
@@ -107,7 +107,7 @@ class BlockCacheStream final : public IoReadStream {
     std::size_t buffer = 0;  // index into buffers_
   };
 
-  std::size_t block_length(std::uint64_t block) const;
+  [[nodiscard]] std::size_t block_length(std::uint64_t block) const;
   void reap_locked() GPSA_REQUIRES(mutex_);
   void wait_for_completion_locked(MutexLock& lock) GPSA_REQUIRES(mutex_);
   /// Applies one finished load to its entry (Loading -> Ready/Failed).
@@ -116,7 +116,7 @@ class BlockCacheStream final : public IoReadStream {
   /// Frees a buffer, evicting if necessary. Blocks in [protect_lo,
   /// protect_hi) are never evicted. Returns false when nothing is
   /// evictable right now (caller waits or gives up).
-  bool take_buffer_locked(std::uint64_t protect_lo, std::uint64_t protect_hi,
+  [[nodiscard]] bool take_buffer_locked(std::uint64_t protect_lo, std::uint64_t protect_hi,
                           bool allow_evict_ahead, std::size_t* out)
       GPSA_REQUIRES(mutex_);
   /// Starts loading `block` into a freshly taken buffer.
@@ -129,7 +129,7 @@ class BlockCacheStream final : public IoReadStream {
   const std::size_t block_bytes_;
   const std::size_t capacity_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"BlockCache.blocks"};
   CondVar cv_;  // signalled (under mutex_) per threaded-load completion
   std::map<std::uint64_t, Entry> blocks_ GPSA_GUARDED_BY(mutex_);
   /// Buffer pool; the vector itself is immutable after construction and

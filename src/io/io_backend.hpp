@@ -91,7 +91,7 @@ struct IoConfig {
 
   /// Block-cache capacity: the readahead window plus slack for the
   /// pinned fetch range.
-  std::size_t cache_blocks() const {
+  [[nodiscard]] std::size_t cache_blocks() const {
     const std::size_t window = readahead_bytes / block_bytes;
     return (window < 2 ? 2 : window) + 2;
   }
@@ -120,7 +120,7 @@ class IoReadStream {
   virtual void drop_behind(std::uint64_t offset) = 0;
 
   /// Last I/O error after a nullptr fetch (OK otherwise).
-  virtual Status status() const = 0;
+  [[nodiscard]] virtual Status status() const = 0;
 
   virtual PrefetchCounters counters() const = 0;
 };
@@ -148,7 +148,7 @@ class IoBackend {
 
   /// Whether `kind` can work here (uring: compile-time probe AND a
   /// successful runtime io_uring_setup; mmap/pread: always).
-  static bool supported(IoBackendKind kind);
+  [[nodiscard]] static bool supported(IoBackendKind kind);
 
   /// Builds the backend for config.backend (resolve() already replaced
   /// unsupported requests).

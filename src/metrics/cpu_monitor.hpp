@@ -42,7 +42,7 @@ class CpuMonitor {
   const double interval_seconds_;
   std::atomic<bool> running_{false};
   std::thread thread_;
-  Mutex mutex_;
+  Mutex mutex_{"CpuMonitor.samples"};
   std::vector<double> samples_ GPSA_GUARDED_BY(mutex_);
 };
 

@@ -47,8 +47,8 @@ class Socket {
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  int fd() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
   void close_fd();
 
  private:
@@ -57,36 +57,36 @@ class Socket {
 
 /// Listening socket bound to 127.0.0.1:`port` (SO_REUSEADDR so rapid
 /// test restarts don't trip TIME_WAIT).
-Result<Socket> tcp_listen(std::uint16_t port, int backlog = 16);
+[[nodiscard]] Result<Socket> tcp_listen(std::uint16_t port, int backlog = 16);
 
 /// Accepts one connection, waiting at most `timeout_ms`.
-Result<Socket> tcp_accept(const Socket& listener, int timeout_ms);
+[[nodiscard]] Result<Socket> tcp_accept(const Socket& listener, int timeout_ms);
 
 /// Connects to 127.0.0.1:`port`, retrying refused/unreachable attempts
 /// until the deadline — the peer's listener may simply not exist yet
 /// during cluster bootstrap.
-Result<Socket> tcp_connect_retry(std::uint16_t port, int timeout_ms);
+[[nodiscard]] Result<Socket> tcp_connect_retry(std::uint16_t port, int timeout_ms);
 
 /// TCP_NODELAY: barrier frames are latency-sensitive and tiny.
-Status set_nodelay(const Socket& socket);
+[[nodiscard]] Status set_nodelay(const Socket& socket);
 
 /// One nonblocking read. Returns the byte count (0 when the socket had
 /// nothing despite POLLIN — spurious wakeup) and sets `eof` when the
 /// peer closed cleanly. Connection resets surface as FailedPrecondition.
-Result<std::size_t> recv_nonblocking(const Socket& socket, std::uint8_t* buf,
+[[nodiscard]] Result<std::size_t> recv_nonblocking(const Socket& socket, std::uint8_t* buf,
                                      std::size_t cap, bool& eof);
 
 /// Waits for readability. Returns false on timeout; POLLHUP/POLLERR
 /// count as readable (the next recv reports the condition).
-Result<bool> wait_readable(const Socket& socket, int timeout_ms);
+[[nodiscard]] Result<bool> wait_readable(const Socket& socket, int timeout_ms);
 
 /// Writes the full iovec array, resuming partial writes and polling for
 /// POLLOUT under the deadline. A closed/reset peer is FailedPrecondition,
 /// a deadline miss IoError.
-Status send_all(const Socket& socket, const iovec* iov, int iov_count,
+[[nodiscard]] Status send_all(const Socket& socket, const iovec* iov, int iov_count,
                 int timeout_ms);
 
-inline Status send_all(const Socket& socket, const std::uint8_t* data,
+[[nodiscard]] inline Status send_all(const Socket& socket, const std::uint8_t* data,
                        std::size_t size, int timeout_ms) {
   iovec iov{const_cast<std::uint8_t*>(data), size};
   return send_all(socket, &iov, 1, timeout_ms);
@@ -103,7 +103,7 @@ class UringSender {
 
   /// Sends the whole buffer through the ring (resuming short sends),
   /// falling back on the caller for anything the ring cannot express.
-  virtual Status send(const Socket& socket, const std::uint8_t* data,
+  [[nodiscard]] virtual Status send(const Socket& socket, const std::uint8_t* data,
                       std::size_t size, int timeout_ms) = 0;
 };
 

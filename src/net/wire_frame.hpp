@@ -63,7 +63,7 @@ enum class FrameType : std::uint16_t {
 };
 
 /// True for the types the decoder admits (anything else is CorruptData).
-bool frame_type_known(std::uint16_t raw);
+[[nodiscard]] bool frame_type_known(std::uint16_t raw);
 const char* frame_type_name(FrameType type);
 
 struct FrameHeader {
@@ -135,10 +135,10 @@ class FrameDecoder {
 
   /// Pops the next completed frame into `out`. Returns true when a frame
   /// was produced, false when more bytes are needed. Errors are sticky.
-  Result<bool> next(Frame& out);
+  [[nodiscard]] Result<bool> next(Frame& out);
 
   /// Bytes buffered but not yet consumed by completed frames.
-  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   Status validate_header(const FrameHeader& header) const;
@@ -230,7 +230,7 @@ struct ValuesPayload {
 
 /// Highest version both ranges share, or InvalidArgument when the ranges
 /// are disjoint (the caller turns that into a clean kAbort).
-Result<std::uint16_t> negotiate_version(std::uint16_t local_min,
+[[nodiscard]] Result<std::uint16_t> negotiate_version(std::uint16_t local_min,
                                         std::uint16_t local_max,
                                         std::uint16_t remote_min,
                                         std::uint16_t remote_max);

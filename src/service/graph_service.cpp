@@ -298,7 +298,9 @@ void GraphService::finalize_cancelled_queued(Job& job) {
   job.state = JobState::kCancelled;
   ++stats_.cancelled;
   --stats_.queued;
-  done_cv_.notify_all();
+  // Caller holds mutex_ (GPSA_REQUIRES in the header); the lexical
+  // locked-notify rule cannot see across the call boundary.
+  done_cv_.notify_all();  // gpsa-lint: allow(locked-notify)
 }
 
 void GraphService::runner_loop(unsigned runner_index) {

@@ -213,7 +213,7 @@ class GraphService {
   std::optional<ScratchDir> scratch_;
   std::unique_ptr<ActorSystem> system_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"GraphService.jobs"};
   CondVar work_cv_;  // runners wait here for queued jobs
   CondVar done_cv_;  // wait() callers wait here for terminal transitions
   std::deque<JobId> queue_ GPSA_GUARDED_BY(mutex_);

@@ -1,0 +1,70 @@
+// Runtime lock-order validation (lockdep; DESIGN.md §15).
+//
+// The static analyzer (scripts/gpsa_analyze.py) proves the absence of
+// acquisition-order cycles over the *annotated* source; this module is
+// the runtime half of the cross-check: when GPSA_LOCKDEP=1, every
+// gpsa::Mutex acquisition records a per-thread held-lock stack, each
+// (held, acquired) pair accretes an edge in a process-global order
+// graph, and the first edge that closes a cycle aborts the process with
+// both lock names and the full cycle in the report. The TSan CI leg runs
+// the whole suite with it on, so the statically derived graph and the
+// dynamically observed graph validate each other: a cycle the analyzer
+// missed (through a function pointer, say) still dies loudly in CI, and
+// an analyzer finding with no runtime witness is inspected, not shrugged
+// off.
+//
+// Keying: order is tracked per *named* lock class, not per instance —
+// two MessageBatchPool instances share the class "MessagePool.free", the
+// classic lockdep design. Mutexes constructed without a name do not
+// participate in order edges (they still detect same-instance recursive
+// acquisition); the subsystem sweep names every long-lived mutex in the
+// tree, and keying unnamed temporaries by address would alias freed
+// addresses across short-lived locks. Same-class nesting across two
+// *different* instances is deliberately not an edge either (it would be
+// a self-cycle); acquiring the same instance twice aborts as recursive.
+//
+// The abort path writes with fprintf, never GPSA_LOG: the logging sink
+// has its own named Mutex and must not be re-entered mid-report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gpsa::lockdep {
+
+namespace detail {
+// 0 = not yet latched from the environment, 1 = off, 2 = on.
+extern std::atomic<int> g_state;
+int latch_from_env();
+}  // namespace detail
+
+/// True when lock-order tracking is active (GPSA_LOCKDEP=1 in the
+/// environment, or enable_for_testing). Latched on first call; the fast
+/// path is one relaxed load so release-mode acquisitions stay free.
+inline bool enabled() {
+  const int state = detail::g_state.load(std::memory_order_relaxed);
+  if (state == 0) {
+    return detail::latch_from_env() == 2;
+  }
+  return state == 2;
+}
+
+/// Overrides the environment latch (tests provoke inversions in forked
+/// children regardless of the parent's env). Not for production code.
+void enable_for_testing(bool on);
+
+/// Records that the calling thread acquired `mutex`. `name` is the lock
+/// class (nullptr = unnamed: recursion-checked but excluded from order
+/// edges). Aborts with a report on the first order cycle or on a
+/// same-instance recursive acquisition.
+void on_acquire(const void* mutex, const char* name);
+
+/// Records that the calling thread released `mutex` (any order, not just
+/// LIFO — the drop-the-lock-around-blocking-work pattern releases out of
+/// order).
+void on_release(const void* mutex);
+
+/// Order edges recorded so far (test introspection).
+std::uint64_t edges_recorded();
+
+}  // namespace gpsa::lockdep

@@ -10,7 +10,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
-Mutex g_sink_mutex;
+Mutex g_sink_mutex{"Log.sink"};
 LogSink g_sink GPSA_GUARDED_BY(g_sink_mutex);  // empty => default stderr sink
 
 std::chrono::steady_clock::time_point start_time() {

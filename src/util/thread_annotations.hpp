@@ -21,6 +21,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lockdep.hpp"
+
 #if defined(__clang__) && !defined(SWIG)
 #define GPSA_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -56,38 +58,101 @@ class CondVar;
 /// GPSA_REQUIRES declarations against it are checkable. Prefer MutexLock
 /// for scoped acquisition; lock()/unlock() exist for the rare manual
 /// protocols and stay annotated.
+///
+/// The optional `name` is the lockdep class (DESIGN.md §15): long-lived
+/// subsystem mutexes pass a stable "Subsystem.role" string so GPSA_LOCKDEP
+/// runs can accrete a cross-instance acquisition-order graph; unnamed
+/// mutexes are tracked for recursive acquisition only. Naming costs one
+/// pointer per mutex and nothing per acquisition when lockdep is off.
 class GPSA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* lockdep_name) : name_(lockdep_name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() GPSA_ACQUIRE() { mutex_.lock(); }
-  void unlock() GPSA_RELEASE() { mutex_.unlock(); }
-  bool try_lock() GPSA_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() GPSA_ACQUIRE() {
+    // The lockdep hook runs BEFORE the raw lock: recursive acquisition
+    // and established-order inversions then abort with a report instead
+    // of deadlocking on the futex underneath.
+    if (lockdep::enabled()) {
+      lockdep::on_acquire(this, name_);
+    }
+    mutex_.lock();
+  }
+  void unlock() GPSA_RELEASE() {
+    if (lockdep::enabled()) {
+      lockdep::on_release(this);
+    }
+    mutex_.unlock();
+  }
+  bool try_lock() GPSA_TRY_ACQUIRE(true) {
+    const bool acquired = mutex_.try_lock();
+    // A successful try_lock held-set entry matters (later acquisitions
+    // order against it), but a try that *fails* can never deadlock, so
+    // no edge is recorded for the attempt itself.
+    if (acquired && lockdep::enabled()) {
+      lockdep::on_acquire(this, name_);
+    }
+    return acquired;
+  }
+
+  const char* lockdep_name() const { return name_; }
 
  private:
   friend class CondVar;
   friend class MutexLock;
   std::mutex mutex_;
+  const char* name_ = nullptr;
 };
 
 /// RAII scoped acquisition of a Mutex (std::unique_lock underneath, so
 /// CondVar::wait can release/reacquire it). Mid-scope unlock()/lock() are
 /// annotated for the drop-the-lock-around-blocking-work pattern.
+///
+/// Lockdep note: CondVar::wait releases and reacquires the underlying
+/// std::mutex without touching the held-stack. That is sound: a thread
+/// blocked in wait() acquires nothing, so no spurious edge can form, and
+/// on return the lock is held again exactly as the stack says.
 class GPSA_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mutex) GPSA_ACQUIRE(mutex) : lock_(mutex.mutex_) {}
-  ~MutexLock() GPSA_RELEASE() {}  // unique_lock releases if still held
+  explicit MutexLock(Mutex& mutex) GPSA_ACQUIRE(mutex)
+      : mutex_(&mutex), lock_(lockdep_note(mutex).mutex_) {}
+  ~MutexLock() GPSA_RELEASE() {
+    // unique_lock releases if still held
+    if (lock_.owns_lock() && lockdep::enabled()) {
+      lockdep::on_release(mutex_);
+    }
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
-  void unlock() GPSA_RELEASE() { lock_.unlock(); }
-  void lock() GPSA_ACQUIRE() { lock_.lock(); }
+  void unlock() GPSA_RELEASE() {
+    if (lockdep::enabled()) {
+      lockdep::on_release(mutex_);
+    }
+    lock_.unlock();
+  }
+  void lock() GPSA_ACQUIRE() {
+    lockdep_note(*mutex_);
+    lock_.lock();
+  }
 
  private:
   friend class CondVar;
+
+  /// Pre-acquisition lockdep hook (see Mutex::lock for why it runs
+  /// before the raw lock). Returns the mutex so the constructor can call
+  /// it inside the member-initializer list.
+  static Mutex& lockdep_note(Mutex& mutex) {
+    if (lockdep::enabled()) {
+      lockdep::on_acquire(&mutex, mutex.name_);
+    }
+    return mutex;
+  }
+
+  Mutex* mutex_;
   std::unique_lock<std::mutex> lock_;
 };
 

@@ -1,0 +1,29 @@
+// gpsa_analyze fixture: TRUE POSITIVES for actor-blocking.
+//
+// SleepyActor::on_message reaches a sleep through a helper (the path
+// must survive one call hop); WaityActor::execute_batch parks on a
+// condition variable directly. Both hold a scheduler worker hostage and
+// must be reported.
+
+struct SleepyActor {
+  void on_message() {
+    settle();
+  }
+
+  void settle() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+};
+
+struct WaityActor {
+  void execute_batch() {
+    MutexLock l(mu_);
+    while (!ready_) {
+      cv_.wait(l);
+    }
+  }
+
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+};

@@ -1,0 +1,21 @@
+// gpsa_analyze fixture: TRUE POSITIVES for lease-balance.
+//
+// Leaky::drop discards the lease() result outright; Leaky::hoard keeps
+// the buffer in a local that neither reaches recycle() nor is moved to
+// a new owner. Both silently retire a pooled buffer from circulation —
+// a steady-state pool miss in the making — and must be reported.
+
+struct Leaky {
+  void drop() {
+    pool_->lease();
+  }
+
+  void hoard() {
+    auto buffer = pool_->lease();
+    buffer.clear();
+    count_ += static_cast<int>(buffer.capacity());
+  }
+
+  MessageBatchPool* pool_ = nullptr;
+  int count_ = 0;
+};

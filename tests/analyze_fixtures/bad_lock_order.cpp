@@ -1,0 +1,24 @@
+// gpsa_analyze fixture: TRUE POSITIVE for lock-order.
+//
+// Two methods of the same class take the same pair of mutexes in
+// opposite orders — the textbook AB/BA deadlock. The analyzer must
+// report one acquisition-order cycle between PairOne::first_ and
+// PairOne::second_.
+//
+// Fixtures are analyzed, never compiled; they use the project's Mutex /
+// MutexLock spellings directly.
+
+struct PairOne {
+  void forward() {
+    MutexLock a(first_);
+    MutexLock b(second_);  // establishes first_ -> second_
+  }
+
+  void backward() {
+    MutexLock b(second_);
+    MutexLock a(first_);  // establishes second_ -> first_: cycle
+  }
+
+  Mutex first_;
+  Mutex second_;
+};

@@ -1,0 +1,43 @@
+// gpsa_analyze fixture: TRUE POSITIVE for lock-order, established across
+// a call chain rather than inside one function.
+//
+// Registry::rebuild holds Registry::mu_ and calls Shard::poke, which
+// takes Shard::mu_ (edge Registry::mu_ -> Shard::mu_). Shard::evict
+// holds Shard::mu_ and calls back into notify_registry, which takes
+// Registry::mu_ (edge Shard::mu_ -> Registry::mu_). Neither function
+// sees both locks lexically; only the whole-program call graph closes
+// the cycle.
+
+struct Shard {
+  void poke() {
+    MutexLock l(mu_);
+    ++epoch_;
+  }
+
+  void evict(struct Registry& owner);
+
+  Mutex mu_;
+  int epoch_ = 0;
+};
+
+struct Registry {
+  void rebuild(Shard& shard) {
+    MutexLock l(mu_);
+    shard.poke();  // holding Registry::mu_, acquires Shard::mu_
+  }
+
+  void notify() {
+    MutexLock l(mu_);
+    ++version_;
+  }
+
+  Mutex mu_;
+  int version_ = 0;
+};
+
+void notify_registry(Registry& registry) { registry.notify(); }
+
+void Shard::evict(Registry& owner) {
+  MutexLock l(mu_);
+  notify_registry(owner);  // holding Shard::mu_, acquires Registry::mu_
+}

@@ -1,0 +1,42 @@
+// gpsa_analyze fixture: TRUE NEGATIVES for actor-blocking.
+//
+// PoliteActor does only compute work. DeferredActor hands a blocking
+// lambda to a worker pool — the sleep executes on the pool's thread,
+// not the actor's, so attributing it to on_message would be a false
+// positive. FencedActor blocks at a documented fence with the inline
+// escape. None of these may be reported.
+
+struct PoliteActor {
+  void on_message() {
+    accumulate();
+  }
+
+  void accumulate() {
+    for (int i = 0; i < 64; ++i) {
+      total_ += i;
+    }
+  }
+
+  long total_ = 0;
+};
+
+struct DeferredActor {
+  void on_message() {
+    pool_->submit([this] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++drained_;
+    });
+  }
+
+  IoThreadPool* pool_ = nullptr;
+  int drained_ = 0;
+};
+
+struct FencedActor {
+  void on_message() {
+    fence_.wait(ticket_);  // gpsa-analyze: allow(actor-blocking)
+  }
+
+  Fence fence_;
+  int ticket_ = 0;
+};

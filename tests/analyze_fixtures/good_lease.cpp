@@ -1,0 +1,29 @@
+// gpsa_analyze fixture: TRUE NEGATIVES for lease-balance.
+//
+// Every lease is balanced: recycled in-function, std::move()d into a
+// message (ownership transfer to the mailbox), or carrying an explicit
+// transfer note for a staging slot shipped by a later flush. None of
+// these may be reported.
+
+void balanced(MessageBatchPool& pool) {
+  auto buffer = pool.lease();
+  buffer.push_back(VertexMessage{1, 2});
+  pool.recycle(std::move(buffer));
+}
+
+struct Shipper {
+  void ship() {
+    ComputerMsg msg;
+    msg.batch = pool_->lease();
+    msg.batch.push_back(VertexMessage{3, 4});
+    peer_->send(std::move(msg));
+  }
+
+  void stage() {
+    staging_ = pool_->lease();  // gpsa-analyze: transfer(staging slot; shipped by the flush path)
+  }
+
+  MessageBatchPool* pool_ = nullptr;
+  Actor* peer_ = nullptr;
+  std::vector<VertexMessage> staging_;
+};

@@ -1,0 +1,30 @@
+// gpsa_analyze fixture: TRUE NEGATIVE for lock-order.
+//
+// The same two locks as bad_lock_order.cpp, but every path takes them in
+// the same global order (coarse_ before fine_), including one path that
+// establishes the order across a call via GPSA_REQUIRES. A third
+// function takes only one of them. No cycle exists and nothing may be
+// reported.
+
+struct Ordered {
+  void both_forward() {
+    MutexLock a(coarse_);
+    MutexLock b(fine_);
+  }
+
+  void also_forward() {
+    MutexLock a(coarse_);
+    touch_fine_locked();
+  }
+
+  void touch_fine_locked() GPSA_REQUIRES(coarse_) {
+    MutexLock b(fine_);
+  }
+
+  void only_fine() {
+    MutexLock b(fine_);
+  }
+
+  Mutex coarse_;
+  Mutex fine_;
+};

@@ -1,0 +1,25 @@
+// Fixture: exactly one lease-escape finding (line 16).
+#include <utility>
+#include <vector>
+
+struct VertexMessage {};
+
+struct Pool {
+  std::vector<VertexMessage> lease();
+  void recycle(std::vector<VertexMessage>&& batch);
+};
+
+struct Hoarder {
+  Pool* pool_;
+  std::vector<VertexMessage> parked_;
+
+  void park() { parked_ = pool_->lease(); }  // member store, no note: finding
+
+  void local_is_fine() {
+    auto batch = pool_->lease();  // local: the balance check sees it
+    pool_->recycle(std::move(batch));
+  }
+
+  // A comparison is not an assignment; the `==` must not trip the rule.
+  bool already_parked() { return parked_ == pool_->lease(); }
+};
