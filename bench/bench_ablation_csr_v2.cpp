@@ -1,0 +1,200 @@
+// Ablation: v2 CSR storage (DESIGN.md §16) — format x order sweep on
+// cold page caches.
+//
+// For each dataset (google and pokec stand-ins) runs three storage
+// configurations: v1/none (the paper's flat 4-byte entries), v2/none
+// (varint delta-gap), and v2/degree (delta-gap plus hubs-first
+// renumbering). Each cell does two runs:
+//
+//   - perf: PageRank, 5 supersteps, cold-start protocol (CSR and value
+//     files evicted after setup so dispatch refaults from storage). The
+//     headline metrics are bytes_read — the fundamental read volume the
+//     encoding is supposed to shrink — and *edge throughput* (edges
+//     dispatched per summed dispatcher-busy second). Throughput is in
+//     edges, not bytes: v2 reading fewer bytes per edge is the point, so
+//     MB/s would reward the regression it must catch (decode overhead
+//     eating the byte savings).
+//   - identity: Connected Components to convergence, FNV-1a checksum of
+//     the final values. CC is monotone, so the checksum must be
+//     bit-identical across every cell of a dataset no matter the format,
+//     order, or partition — the results-unchanged half of the gate.
+//
+// Set GPSA_BENCH_JSON=<path> to dump all cells;
+// scripts/check_csr_v2.py gates CI on the v1/v2 bytes-read ratio, the
+// throughput floor, and checksum identity.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/cc.hpp"
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "graph/csr_v2.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace gpsa;
+
+struct Cell {
+  std::string dataset;
+  CsrFormat format = CsrFormat::kV1;
+  CsrOrder order = CsrOrder::kNone;
+  double avg_elapsed_seconds = 0.0;
+  double avg_busy_seconds = 0.0;    // summed over dispatchers
+  std::uint64_t bytes_read = 0;     // per perf run
+  std::uint64_t csr_file_bytes = 0;
+  std::uint64_t edges_dispatched = 0;
+  double edges_per_busy_sec = 0.0;
+  std::uint64_t cc_checksum = 0;
+};
+
+std::uint64_t fnv1a_payloads(const std::vector<Payload>& values) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Payload value : values) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (value >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const ExperimentOptions exp = ExperimentOptions::from_env();
+
+  std::printf("== Ablation: CSR format x order, cold page cache "
+              "(scale %.3g, %u run(s)) ==\n\n",
+              exp.scale, exp.runs);
+
+  TextTable table({"dataset", "format", "order", "file MB", "read MB",
+                   "elapsed (s)", "busy (s)", "Medges/busy-s",
+                   "cc checksum"});
+  std::vector<Cell> cells;
+  bool ok = true;
+  const PageRankProgram pagerank(5);
+  const ConnectedComponentsProgram cc;
+  struct Config {
+    CsrFormat format;
+    CsrOrder order;
+  };
+  const Config configs[] = {{CsrFormat::kV1, CsrOrder::kNone},
+                            {CsrFormat::kV2, CsrOrder::kNone},
+                            {CsrFormat::kV2, CsrOrder::kDegree}};
+  struct Dataset {
+    const char* name;
+    PaperGraph graph;
+  };
+  for (const Dataset& ds : {Dataset{"google", PaperGraph::kGoogle},
+                            Dataset{"pokec", PaperGraph::kPokec}}) {
+    const EdgeList graph = generate_paper_graph(ds.graph, exp.scale, exp.seed);
+    for (const Config& config : configs) {
+      Cell cell;
+      cell.dataset = ds.name;
+      cell.format = config.format;
+      cell.order = config.order;
+      double elapsed = 0.0;
+      double busy = 0.0;
+      for (unsigned r = 0; r < exp.runs; ++r) {
+        EngineOptions eo;
+        eo.num_dispatchers = 2;
+        eo.num_computers = 2;
+        eo.max_supersteps = 5;
+        eo.csr_format = config.format;
+        eo.csr_order = config.order;
+        eo.io.cold_start = true;
+        auto result = Engine::run(graph, pagerank, eo);
+        if (!result.is_ok()) {
+          std::fprintf(stderr, "%s: %s\n", ds.name,
+                       result.status().to_string().c_str());
+          ok = false;
+          continue;
+        }
+        elapsed += result.value().elapsed_seconds;
+        for (const double b : result.value().dispatcher_busy_seconds) {
+          busy += b;
+        }
+        cell.bytes_read = result.value().io.bytes_read;
+        cell.csr_file_bytes = result.value().csr_file_bytes;
+        cell.edges_dispatched = result.value().total_messages;
+      }
+      cell.avg_elapsed_seconds = elapsed / exp.runs;
+      cell.avg_busy_seconds = busy / exp.runs;
+      cell.edges_per_busy_sec =
+          cell.avg_busy_seconds > 0
+              ? static_cast<double>(cell.edges_dispatched) /
+                    cell.avg_busy_seconds
+              : 0.0;
+
+      // Identity run: monotone CC, so this checksum is bit-exact across
+      // every configuration of the dataset.
+      EngineOptions id;
+      id.num_dispatchers = 2;
+      id.num_computers = 2;
+      id.csr_format = config.format;
+      id.csr_order = config.order;
+      auto identity = Engine::run(graph, cc, id);
+      if (!identity.is_ok()) {
+        std::fprintf(stderr, "%s cc: %s\n", ds.name,
+                     identity.status().to_string().c_str());
+        ok = false;
+      } else {
+        cell.cc_checksum = fnv1a_payloads(identity.value().values);
+      }
+
+      char checksum[32];
+      std::snprintf(checksum, sizeof(checksum), "%016llx",
+                    static_cast<unsigned long long>(cell.cc_checksum));
+      table.add_row(
+          {cell.dataset, csr_format_name(cell.format),
+           csr_order_name(cell.order),
+           TextTable::num(static_cast<double>(cell.csr_file_bytes) / 1e6, 2),
+           TextTable::num(static_cast<double>(cell.bytes_read) / 1e6, 2),
+           TextTable::num(cell.avg_elapsed_seconds, 4),
+           TextTable::num(cell.avg_busy_seconds, 4),
+           TextTable::num(cell.edges_per_busy_sec / 1e6, 2), checksum});
+      cells.push_back(cell);
+    }
+  }
+  table.print();
+  std::printf("\nMedges/busy-s = edges dispatched / summed dispatcher busy "
+              "seconds — byte-agnostic, so decode overhead shows up as a "
+              "drop even while bytes shrink.\n");
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("ablation_csr_v2");
+  json.key("scale").value(exp.scale);
+  json.key("runs").value(exp.runs);
+  json.key("cells").begin_array();
+  for (const Cell& cell : cells) {
+    json.begin_object();
+    json.key("dataset").value(cell.dataset);
+    json.key("format").value(csr_format_name(cell.format));
+    json.key("order").value(csr_order_name(cell.order));
+    json.key("avg_elapsed_seconds").value(cell.avg_elapsed_seconds);
+    json.key("avg_busy_seconds").value(cell.avg_busy_seconds);
+    json.key("bytes_read").value(cell.bytes_read);
+    json.key("csr_file_bytes").value(cell.csr_file_bytes);
+    json.key("edges_dispatched").value(cell.edges_dispatched);
+    json.key("edges_per_busy_sec").value(cell.edges_per_busy_sec);
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(cell.cc_checksum));
+    json.key("cc_checksum").value(checksum);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const Status json_status = write_bench_json(json);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.to_string().c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

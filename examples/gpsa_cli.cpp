@@ -22,6 +22,14 @@
 //   --dispatchers/--computers/--nodes=N, --combine, --checkpoint
 //   --trace=PATH        write the per-superstep CSV trace
 //   --top=K             print the K best-valued vertices (default 5)
+//
+// Subcommand:
+//   gpsa_cli convert --in=BASE --out=BASE [--csr-format=v1|v2]
+//                    [--csr-order=none|degree|bfs] [--no-degree]
+//     Offline CSR re-encoder: reads the file pair at --in (any supported
+//     format), translates back to original vertex ids through its
+//     permutation if it was renumbered, and rewrites it at --out in the
+//     requested format/order (default v2/none).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -41,6 +49,8 @@
 #include "core/engine.hpp"
 #include "graph/adjacency.hpp"
 #include "graph/csr.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/csr_v2.hpp"
 #include "graph/generators.hpp"
 #include "harness/trace.hpp"
 #include "util/config.hpp"
@@ -142,6 +152,50 @@ void print_top(const std::vector<Payload>& values, const std::string& algo,
   }
 }
 
+int run_convert(const Config& config) {
+  const std::string in_base = config.get_string("in", "");
+  const std::string out_base = config.get_string("out", "");
+  if (in_base.empty() || out_base.empty()) {
+    std::fprintf(stderr,
+                 "usage: gpsa_cli convert --in=BASE --out=BASE "
+                 "[--csr-format=v1|v2] [--csr-order=none|degree|bfs] "
+                 "[--no-degree]\n");
+    return 2;
+  }
+  auto format_or = parse_csr_format(config.get_string("csr-format", "v2"));
+  if (!format_or.is_ok()) {
+    std::fprintf(stderr, "%s\n", format_or.status().to_string().c_str());
+    return 2;
+  }
+  auto order_or = parse_csr_order(config.get_string("csr-order", "none"));
+  if (!order_or.is_ok()) {
+    std::fprintf(stderr, "%s\n", order_or.status().to_string().c_str());
+    return 2;
+  }
+  const bool with_degree = !config.get_bool("no-degree", false);
+  const Status st = convert_csr_file(in_base, out_base, format_or.value(),
+                                     order_or.value(), with_degree);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "convert: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  auto reader_or = CsrFileReader::open(out_base);
+  if (!reader_or.is_ok()) {
+    std::fprintf(stderr, "convert: reopening output failed: %s\n",
+                 reader_or.status().to_string().c_str());
+    return 1;
+  }
+  const CsrFileReader& out = reader_or.value();
+  std::printf("converted %s -> %s (%s/%s): %u vertices, %llu edges, "
+              "%llu entry-file bytes\n",
+              in_base.c_str(), out_base.c_str(),
+              csr_format_name(out.format()), csr_order_name(out.order()),
+              out.num_vertices(),
+              static_cast<unsigned long long>(out.num_edges()),
+              static_cast<unsigned long long>(out.entry_file_bytes()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +205,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Config& config = config_or.value();
+  if (!config.positional().empty() && config.positional()[0] == "convert") {
+    return run_convert(config);
+  }
   const std::string algo = config.get_string("algo", "");
   const auto program = make_program(config, algo);
   if (program == nullptr) {

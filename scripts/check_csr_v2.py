@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate on the v2 CSR storage ablation (bench_ablation_csr_v2): the
+compressed format must actually shrink what dispatchers read, must not
+pay for it in dispatch throughput, and must not change results.
+
+Per dataset, three checks over the (format, order) cells:
+
+  1. bytes-read ratio: v1/none bytes_read divided by v2/none bytes_read
+     must reach <min_bytes_ratio> (the encoding's whole reason to exist);
+  2. throughput floor: the best v2 cell's edge throughput (edges
+     dispatched per dispatcher-busy second — byte-agnostic, so varint
+     decode overhead shows up even while bytes shrink) must be at least
+     <min_throughput_frac> of the v1/none run's. Best-of-v2 follows the
+     check_io_ratio.py precedent: which v2 configuration wins is
+     host-dependent (renumbering pays off where cache pressure is real),
+     but every v2 cell losing badly means decode cost ate the format;
+  3. checksum identity: the Connected Components checksum — monotone, so
+     bit-exact regardless of storage layout — must agree across every
+     cell of the dataset, including the renumbered one.
+
+Usage: check_csr_v2.py <bench_ablation_csr_v2.json> <min_bytes_ratio>
+       <min_throughput_frac>
+"""
+import sys
+
+from gpsa_gate import Gate, gate_main
+
+
+def check(report: dict, args: list, gate: Gate) -> None:
+    min_bytes_ratio = float(args[0])
+    min_throughput_frac = float(args[1])
+
+    by_dataset = {}
+    for cell in report["cells"]:
+        key = (cell["format"], cell["order"])
+        by_dataset.setdefault(cell["dataset"], {})[key] = cell
+
+    if not by_dataset:
+        gate.fatal("no cells in report")
+
+    for dataset, cells in sorted(by_dataset.items()):
+        v1 = cells.get(("v1", "none"))
+        v2 = cells.get(("v2", "none"))
+        if v1 is None or v2 is None:
+            gate.fatal(f"{dataset}: missing the v1/none or v2/none cell")
+
+        if v2["bytes_read"] <= 0:
+            gate.fatal(f"{dataset}: v2 bytes_read is zero")
+        ratio = v1["bytes_read"] / v2["bytes_read"]
+        gate.note(f"  {dataset}: bytes read v1/v2 = "
+                  f"{v1['bytes_read']}/{v2['bytes_read']} = {ratio:.3f}")
+        gate.check_min(f"{dataset} bytes-read reduction", ratio,
+                       min_bytes_ratio,
+                       f"{dataset}: v2 did not shrink dispatch reads enough")
+
+        if v1["edges_per_busy_sec"] <= 0:
+            gate.fatal(f"{dataset}: v1 edge throughput is zero")
+        best = None
+        for key, cell in sorted(cells.items()):
+            if key[0] != "v2":
+                continue
+            frac = cell["edges_per_busy_sec"] / v1["edges_per_busy_sec"]
+            gate.note(f"  {dataset} v2/{key[1]}: edge throughput vs v1 = "
+                      f"{cell['edges_per_busy_sec']:.0f}/"
+                      f"{v1['edges_per_busy_sec']:.0f} = {frac:.3f}")
+            if best is None or frac > best:
+                best = frac
+        gate.check_min(f"{dataset} best v2 throughput retention", best,
+                       min_throughput_frac,
+                       f"{dataset}: varint decode cost ate the byte savings")
+
+        for key, cell in sorted(cells.items()):
+            gate.note(f"  {dataset} {key[0]}/{key[1]}: "
+                      f"cc checksum {cell['cc_checksum']}")
+            gate.require(
+                cell["cc_checksum"] == v1["cc_checksum"],
+                f"{dataset} {key[0]}/{key[1]}: cc checksum "
+                f"{cell['cc_checksum']} != v1 {v1['cc_checksum']} — "
+                f"storage layout changed results")
+
+
+if __name__ == "__main__":
+    sys.exit(gate_main(__doc__, check, min_args=3, max_args=3))

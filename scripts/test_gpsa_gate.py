@@ -106,6 +106,20 @@ def service_report() -> dict:
             "results_identical": True}
 
 
+def csr_v2_report() -> dict:
+    def cell(dataset, fmt, order, bytes_read, throughput):
+        return {"dataset": dataset, "format": fmt, "order": order,
+                "bytes_read": bytes_read, "csr_file_bytes": bytes_read,
+                "edges_per_busy_sec": throughput,
+                "cc_checksum": f"{dataset}-checksum"}
+    cells = []
+    for dataset in ("google", "pokec"):
+        cells.append(cell(dataset, "v1", "none", 3_000_000, 1.0e6))
+        cells.append(cell(dataset, "v2", "none", 1_000_000, 1.1e6))
+        cells.append(cell(dataset, "v2", "degree", 900_000, 1.2e6))
+    return {"bench": "ablation_csr_v2", "cells": cells}
+
+
 def cluster_net_report() -> dict:
     return {"bench": "cluster_scaleout",
             "net": {"ranks": 3, "children_ok": True, "bit_identity": True,
@@ -176,6 +190,18 @@ def main() -> int:
                 "unclean-cancel": lambda r: (
                     r.update(resident_cancelled_cleanly=False),
                     ["500", "20"])[1],
+            }, tmp)
+
+        check_gate(
+            "csr_v2", "check_csr_v2.py", csr_v2_report(), ["1.5", "0.9"],
+            {
+                "bytes-ratio-below-threshold": lambda r: ["5.0", "0.9"],
+                "throughput-regressed": lambda r: ["1.5", "2.0"],
+                "checksum-diverged": lambda r: (
+                    r["cells"][2].update(cc_checksum="oops"),
+                    ["1.5", "0.9"])[1],
+                "missing-v2-cell": lambda r: (
+                    r["cells"].pop(1), ["1.5", "0.9"])[1],
             }, tmp)
 
         check_gate(

@@ -45,6 +45,37 @@
 #include "util/timer.hpp"
 
 namespace gpsa {
+
+/// FNV-1a over the facts every rank must agree on before values can mix
+/// (contract in cluster_net.hpp). Format and order are mixed as u64s so
+/// e.g. a v2/degree rank and a v1/none rank abort at HELLO instead of
+/// exchanging values keyed by different id spaces.
+std::uint64_t cluster_graph_fingerprint(std::uint64_t num_vertices,
+                                        std::uint64_t num_edges,
+                                        std::uint32_t ranks,
+                                        const std::string& program_name,
+                                        CsrFormat format, CsrOrder order) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mix_u64 = [&](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      mix_byte(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+    }
+  };
+  mix_u64(num_vertices);
+  mix_u64(num_edges);
+  mix_u64(ranks);
+  for (char c : program_name) {
+    mix_byte(static_cast<std::uint8_t>(c));
+  }
+  mix_u64(static_cast<std::uint64_t>(format));
+  mix_u64(static_cast<std::uint64_t>(order));
+  return h;
+}
+
 namespace {
 
 // Crash-injection state for the fork-based crash tests (plain global; set
@@ -66,30 +97,6 @@ Result<std::uint64_t> parse_env_u64(const char* name, const char* text) {
                             "'");
   }
   return static_cast<std::uint64_t>(v);
-}
-
-/// FNV-1a over the facts every rank must agree on before values can mix:
-/// |V|, |E|, the rank count (fixes the partition), and the program name.
-std::uint64_t graph_fingerprint(std::uint64_t num_vertices,
-                                std::uint64_t num_edges, std::uint32_t ranks,
-                                const std::string& program_name) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix_byte = [&h](std::uint8_t b) {
-    h ^= b;
-    h *= 1099511628211ull;
-  };
-  auto mix_u64 = [&](std::uint64_t v) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      mix_byte(static_cast<std::uint8_t>((v >> shift) & 0xffu));
-    }
-  };
-  mix_u64(num_vertices);
-  mix_u64(num_edges);
-  mix_u64(ranks);
-  for (char c : program_name) {
-    mix_byte(static_cast<std::uint8_t>(c));
-  }
-  return h;
 }
 
 struct Deadline {
@@ -844,8 +851,11 @@ Result<ClusterRunResult> run_cluster_rank(const EdgeList& graph,
     budget = std::min(budget, options.max_supersteps);
   }
 
-  const std::uint64_t fingerprint =
-      graph_fingerprint(n, graph.num_edges(), net.ranks, program.name());
+  // The cluster engine builds its CSR in memory, so the storage config
+  // every rank runs under is whatever the environment resolves to.
+  const std::uint64_t fingerprint = cluster_graph_fingerprint(
+      n, graph.num_edges(), net.ranks, program.name(),
+      resolve_csr_format(std::nullopt), resolve_csr_order(std::nullopt));
   GPSA_ASSIGN_OR_RETURN(std::vector<PeerLink> links,
                         run_rendezvous(net, fingerprint));
 

@@ -31,10 +31,25 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "cluster/cluster_engine.hpp"
+#include "graph/csr_v2.hpp"
 
 namespace gpsa {
+
+/// The rendezvous fingerprint every rank must agree on before values can
+/// mix: |V|, |E|, the rank count (fixes the partition), the program name,
+/// and the CSR storage configuration (format + vertex order — a rank
+/// renumbered under GPSA_CSR_ORDER=degree partitions a different id
+/// space, so mixing its values with an unrenumbered rank's would be
+/// silent corruption). Exposed so tests can assert that mismatched
+/// configurations produce unequal fingerprints.
+std::uint64_t cluster_graph_fingerprint(std::uint64_t num_vertices,
+                                        std::uint64_t num_edges,
+                                        std::uint32_t ranks,
+                                        const std::string& program_name,
+                                        CsrFormat format, CsrOrder order);
 
 struct ClusterNetOptions {
   std::uint32_t rank = 0;

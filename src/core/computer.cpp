@@ -9,13 +9,15 @@ namespace gpsa {
 ComputerActor::ComputerActor(std::uint32_t id, ValueFile& values,
                              const Program& program,
                              std::vector<std::uint8_t>& latest_column,
-                             MessageBatchPool& pool, ActiveBitmap* worklist)
+                             MessageBatchPool& pool, ActiveBitmap* worklist,
+                             const VertexId* orig_ids)
     : id_(id),
       values_(values),
       program_(program),
       latest_column_(latest_column),
       pool_(pool),
-      worklist_(worklist) {}
+      worklist_(worklist),
+      orig_ids_(orig_ids) {}
 
 void ComputerActor::connect(ManagerActor* manager) {
   GPSA_CHECK(manager != nullptr);
@@ -72,7 +74,9 @@ void ComputerActor::apply(const VertexMessage& message,
     // the freshest stored payload (Algorithm 3 line 9).
     const Payload base =
         slot_payload(values_.load(v, latest_column_[v]));
-    const Payload seed = program_.first_update(v, base);
+    // first_update sees the original id (identity unless renumbered).
+    const Payload seed = program_.first_update(
+        orig_ids_ == nullptr ? v : orig_ids_[v], base);
     const Payload acc = program_.compute(seed, message.value);
     const bool updated = program_.changed(base, acc);
     // Even a non-update writes the copied payload ("a negative value will

@@ -43,10 +43,14 @@ class ComputerActor final : public Actor<ComputerMsg> {
   /// every vertex this actor updates: set in the update column's
   /// generation inside the same first-update branch that clears the
   /// slot's stale flag, so bit and flag can never disagree (the
-  /// bit-identical-results invariant, DESIGN.md §12).
+  /// bit-identical-results invariant, DESIGN.md §12). `orig_ids` (non-null
+  /// only for renumbered v2 files) translates the vertex id handed to
+  /// Program::first_update back to the original id; storage indexing
+  /// stays internal.
   ComputerActor(std::uint32_t id, ValueFile& values, const Program& program,
                 std::vector<std::uint8_t>& latest_column,
-                MessageBatchPool& pool, ActiveBitmap* worklist = nullptr);
+                MessageBatchPool& pool, ActiveBitmap* worklist = nullptr,
+                const VertexId* orig_ids = nullptr);
 
   void connect(ManagerActor* manager);
 
@@ -75,6 +79,8 @@ class ComputerActor final : public Actor<ComputerMsg> {
   MessageBatchPool& pool_;
   /// Worklist mode's active bitmap; nullptr = sweep mode.
   ActiveBitmap* const worklist_;
+  /// Renumbered files' internal -> original id map; nullptr = identity.
+  const VertexId* const orig_ids_;
 
   ManagerActor* manager_ = nullptr;
   std::uint64_t updates_this_superstep_ = 0;

@@ -19,7 +19,8 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
                                  MessageBatchPool& pool,
                                  std::size_t batch_size, Behavior behavior,
                                  ActiveBitmap* worklist,
-                                 std::vector<Payload>* last_sent)
+                                 std::vector<Payload>* last_sent,
+                                 const VertexId* orig_ids)
     : id_(id),
       interval_(interval),
       csr_(csr),
@@ -32,7 +33,8 @@ DispatcherActor::DispatcherActor(std::uint32_t id, Interval interval,
       batch_size_(batch_size),
       behavior_(behavior),
       worklist_(worklist),
-      last_sent_(last_sent) {
+      last_sent_(last_sent),
+      orig_ids_(orig_ids) {
   GPSA_CHECK(batch_size_ > 0);
   // dispatch_inactive forces vertices the bitmap never lists; the engine
   // rejects the combination up front (engine.cpp), this guards spawns that
@@ -235,20 +237,28 @@ void DispatcherActor::dispatch_vertex(VertexId v, Payload value,
   } else {
     degree = static_cast<std::uint32_t>(record_entries - 1);
   }
+  // Program hooks see *original* vertex ids (identity unless the file is
+  // renumbered); everything downstream of gen_msg stays in internal ids.
+  const VertexId src_ext = orig_ids_ == nullptr ? v : orig_ids_[v];
   // Uniform-message programs (PageRank, BFS, CC) pay gen_msg's virtual
   // call and arithmetic once per vertex, not once per out-edge; the
   // first destination is passed only for interface symmetry.
   Payload uniform_value = 0;
   if (uniform_message_ && record[i] != kCsrEndOfList) {
+    const auto dst0 = static_cast<VertexId>(record[i]);
     uniform_value = program_.gen_msg(
-        v, static_cast<VertexId>(record[i]), value, degree);
+        src_ext, orig_ids_ == nullptr ? dst0 : orig_ids_[dst0], value,
+        degree);
   }
   while (record[i] != kCsrEndOfList) {
     const VertexId dst = static_cast<VertexId>(record[i]);
     ++i;
     const Payload message =
-        uniform_message_ ? uniform_value
-                         : program_.gen_msg(v, dst, value, degree);
+        uniform_message_
+            ? uniform_value
+            : program_.gen_msg(src_ext,
+                               orig_ids_ == nullptr ? dst : orig_ids_[dst],
+                               value, degree);
     const std::size_t owner = owners_.owner_of(dst);
     if (combining_) {
       const VertexId local =

@@ -75,14 +75,19 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   /// nullptr sweeps the interval, non-null iterates the bitmap's dispatch
   /// generation. `last_sent` (non-null only for delta programs) is the
   /// per-vertex last-dispatched-value plane; this dispatcher writes only
-  /// its own interval's entries. All references must outlive the actor.
+  /// its own interval's entries. `orig_ids` (non-null only for renumbered
+  /// v2 files) maps internal ids back to original ones at the Program
+  /// boundary: gen_msg sees original src/dst, while routing, staging and
+  /// value-file indexing stay in internal ids. All references must
+  /// outlive the actor.
   DispatcherActor(std::uint32_t id, Interval interval,
                   const CsrFileReader& csr, CsrEntryStream& stream,
                   ReadaheadScheduler& readahead, ValueFile& values,
                   const Program& program, const OwnerMap& owners,
                   MessageBatchPool& pool, std::size_t batch_size,
                   Behavior behavior, ActiveBitmap* worklist = nullptr,
-                  std::vector<Payload>* last_sent = nullptr);
+                  std::vector<Payload>* last_sent = nullptr,
+                  const VertexId* orig_ids = nullptr);
 
   /// Wiring is two-phase: computers and the manager are spawned after the
   /// dispatchers, then connected before the run starts. computers.size()
@@ -148,6 +153,8 @@ class DispatcherActor final : public Actor<DispatcherMsg> {
   /// dispatcher reads/writes only its interval's entries, so the
   /// single-writer rule needs no synchronization). nullptr otherwise.
   std::vector<Payload>* const last_sent_;
+  /// Renumbered files' internal -> original id map; nullptr = identity.
+  const VertexId* const orig_ids_;
 
   std::vector<ComputerActor*> computers_;
   ManagerActor* manager_ = nullptr;

@@ -64,8 +64,15 @@ Result<RunResult> Engine::run(const EdgeList& graph, const Program& program,
 
   WallTimer preprocess_timer;
   const std::string csr_path = dir + "/graph.csr";
-  GPSA_RETURN_IF_ERROR(
-      preprocess_edges_to_csr(graph, csr_path, /*with_degree=*/true));
+  const CsrFormat format = resolve_csr_format(options.csr_format);
+  const CsrOrder order = resolve_csr_order(options.csr_order);
+  if (format == CsrFormat::kV1 && order != CsrOrder::kNone) {
+    return invalid_argument(
+        "engine: csr order '" + std::string(csr_order_name(order)) +
+        "' requires csr format v2 (set GPSA_CSR_FORMAT=v2)");
+  }
+  GPSA_RETURN_IF_ERROR(preprocess_edges_to_csr(
+      graph, csr_path, /*with_degree=*/true, format, order));
   const double preprocess_seconds = preprocess_timer.elapsed_seconds();
 
   GPSA_ASSIGN_OR_RETURN(CsrFileReader csr, CsrFileReader::open(csr_path));

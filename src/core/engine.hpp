@@ -53,9 +53,27 @@ struct EngineOptions {
   /// Caps supersteps in addition to Program::max_supersteps (the smaller
   /// wins). 0 means "no engine-side cap".
   std::uint64_t max_supersteps = 0;
-  /// msync + bump the completed-superstep counter after every superstep,
-  /// enabling crash recovery (§IV.G) at ~one msync per superstep.
+  /// msync + bump the completed-superstep counter at superstep boundaries,
+  /// enabling crash recovery (§IV.G).
   bool checkpoint_each_superstep = false;
+  /// Write-back batching (DESIGN.md §16): checkpoint every Nth superstep
+  /// (plus once at clean run end) instead of all of them, trading up to
+  /// N-1 supersteps of crash-replay for fewer msyncs — RunResult reports
+  /// `value_flush_syscalls` so the trade is measurable. Only meaningful
+  /// with checkpoint_each_superstep. Unset follows
+  /// GPSA_CHECKPOINT_INTERVAL (default 1: the historical every-superstep
+  /// behavior).
+  std::optional<std::uint64_t> checkpoint_interval;
+  /// On-disk CSR format written by preprocessing (graph/csr_v2.hpp): v1 is
+  /// the paper's flat-entry layout, v2 the varint delta-gap encoding.
+  /// Unset follows GPSA_CSR_FORMAT (default v1). Runs against an existing
+  /// file (run_from_csr) take the file's own format regardless.
+  std::optional<CsrFormat> csr_format;
+  /// Vertex renumbering applied by preprocessing (requires v2): degree
+  /// packs hubs first, bfs packs neighborhoods. Results stay keyed by the
+  /// original vertex ids (the permutation is inverted on output). Unset
+  /// follows GPSA_CSR_ORDER (default none).
+  std::optional<CsrOrder> csr_order;
   /// Ablation knob (bench_ablation_overlap): when false, dispatchers hold
   /// every batch until their interval is fully scanned, so computing
   /// actors only start after dispatch finishes — the conventional
@@ -153,6 +171,16 @@ struct RunResult {
   /// Readahead window hit rate over every prefetch plane of the run
   /// (summed `prefetch` counters; 1.0 when no window activity occurred).
   double readahead_hit_rate = 1.0;
+  /// On-disk CSR format and vertex order the run actually streamed (from
+  /// the opened file's header, after GPSA_CSR_FORMAT/ORDER resolution).
+  CsrFormat csr_format = CsrFormat::kV1;
+  CsrOrder csr_order = CsrOrder::kNone;
+  /// Bytes of the CSR entry file (the compression bench's ratio numerator
+  /// comes from comparing this across formats).
+  std::uint64_t csr_file_bytes = 0;
+  /// msync calls issued against the value file over the whole run (the
+  /// write-back-batching observable; see EngineOptions::checkpoint_interval).
+  std::uint64_t value_flush_syscalls = 0;
 };
 
 class Engine {

@@ -1,6 +1,7 @@
 #include "core/job.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -18,6 +19,32 @@
 #include "util/timer.hpp"
 
 namespace gpsa {
+
+namespace {
+
+/// Explicit option beats GPSA_CHECKPOINT_INTERVAL beats 1 (the historical
+/// checkpoint-every-superstep cadence). Malformed env warns and falls
+/// back, matching the other env knobs (exec_mode.cpp).
+std::uint64_t resolve_checkpoint_interval(
+    std::optional<std::uint64_t> requested) {
+  if (requested.has_value() && *requested != 0) {
+    return *requested;
+  }
+  const char* raw = std::getenv("GPSA_CHECKPOINT_INTERVAL");
+  if (raw == nullptr || *raw == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0) {
+    GPSA_LOG(Warn) << "GPSA_CHECKPOINT_INTERVAL: invalid value '" << raw
+                   << "' (expected a positive integer); using 1";
+    return 1;
+  }
+  return parsed;
+}
+
+}  // namespace
 
 Status validate_engine_options(const EngineOptions& options) {
   if (options.num_dispatchers == 0) {
@@ -46,6 +73,13 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
   if (n == 0) {
     return invalid_argument("engine: graph has no vertices");
   }
+
+  // Renumbered v2 files: the engine works entirely in the file's internal
+  // ids (intervals, routing, value slots, bitmap); `orig` translates at
+  // the two Program boundaries (init/gen_msg/first_update in, result
+  // extraction out), so callers always see original vertex ids.
+  const std::span<const VertexId> perm = csr.permutation();
+  const VertexId* const orig = perm.empty() ? nullptr : perm.data();
 
   // --- Execution mode (DESIGN.md §12). ------------------------------------
   const ExecMode exec = resolve_exec_mode(options.exec);
@@ -115,7 +149,8 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
     const unsigned d0 = ValueFile::dispatch_column(0);
     const unsigned u0 = 1 - d0;
     for (VertexId v = 0; v < n; ++v) {
-      const Program::InitialState st = program.init(v, n);
+      const Program::InitialState st =
+          program.init(orig == nullptr ? v : orig[v], n);
       values.store(v, d0, make_slot(st.value, /*stale=*/!st.active));
       values.store(v, u0, make_slot(st.value, /*stale=*/true));
       latest_column[v] = static_cast<std::uint8_t>(d0);
@@ -163,8 +198,8 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
   for (const Interval& interval : intervals) {
     GPSA_ASSIGN_OR_RETURN(auto raw_stream,
                           backend.open_stream(csr.entry_path()));
-    streams.push_back(std::make_unique<CsrEntryStream>(std::move(raw_stream),
-                                                       csr.entries().size()));
+    streams.push_back(
+        std::make_unique<CsrEntryStream>(std::move(raw_stream), csr));
     readaheads.push_back(std::make_unique<ReadaheadScheduler>(
         io_config, streams.back().get(), &values, interval));
   }
@@ -184,11 +219,14 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
   for (std::uint32_t c = 0; c < owners.parts(); ++c) {
     computers.push_back(system.spawn_in_job<ComputerActor>(
         ctx.job_tag, c, std::ref(values), std::cref(program),
-        std::ref(latest_column), std::ref(pool), worklist));
+        std::ref(latest_column), std::ref(pool), worklist, orig));
   }
+  const std::uint64_t checkpoint_interval =
+      options.checkpoint_each_superstep
+          ? resolve_checkpoint_interval(options.checkpoint_interval)
+          : 0;
   auto* manager = system.spawn_in_job<ManagerActor>(
-      ctx.job_tag, std::ref(values), budget,
-      options.checkpoint_each_superstep,
+      ctx.job_tag, std::ref(values), budget, checkpoint_interval,
       /*terminate_on_zero_updates=*/options.dispatch_inactive, &pool,
       ctx.cancel, ctx.progress);
   std::vector<DispatcherActor*> dispatchers;
@@ -202,7 +240,7 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
         ctx.job_tag, d, intervals[d], std::cref(csr), std::ref(*streams[d]),
         std::ref(*readaheads[d]), std::ref(values), std::cref(program),
         std::cref(owners), std::ref(pool), options.message_batch, behavior,
-        worklist, last_sent_plane));
+        worklist, last_sent_plane, orig));
   }
   for (DispatcherActor* dispatcher : dispatchers) {
     dispatcher->connect(computers, manager);
@@ -245,12 +283,18 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
   out.superstep_active_vertices = mres.superstep_active;
   out.superstep_edges_touched = mres.superstep_edges;
   out.values.resize(n);
+  // Inverse mapping on output: slot v holds internal vertex v's payload;
+  // the caller-visible array is keyed by original ids.
   for (VertexId v = 0; v < n; ++v) {
-    out.values[v] = slot_payload(values.load(v, latest_column[v]));
+    out.values[orig == nullptr ? v : orig[v]] =
+        slot_payload(values.load(v, latest_column[v]));
   }
   for (const DispatcherActor* dispatcher : dispatchers) {
-    out.io.bytes_read += 4 * (dispatcher->entries_read_total() +
-                              dispatcher->vertex_checks_total());
+    // Streamed-record volume is counted in the file's offset units (int32
+    // entries for v1, compressed bytes for v2); vertex checks are 4-byte
+    // value-slot reads in both.
+    out.io.bytes_read += csr.unit_bytes() * dispatcher->entries_read_total() +
+                         4 * dispatcher->vertex_checks_total();
     out.dispatcher_busy_seconds.push_back(dispatcher->busy_seconds());
   }
   out.io_backend = io_config.backend;
@@ -266,6 +310,10 @@ Result<RunResult> run_job(const JobContext& ctx, const Program& program,
   out.pool = pool.stats();
   out.routing = routing;
   out.exec = exec;
+  out.csr_format = csr.format();
+  out.csr_order = csr.order();
+  out.csr_file_bytes = csr.entry_file_bytes();
+  out.value_flush_syscalls = values.flush_syscalls();
   out.working_set_bytes =
       csr.entry_file_bytes() + ValueFile::file_size(n) +
       (static_cast<std::uint64_t>(n) + 1) * sizeof(std::uint64_t);

@@ -8,14 +8,14 @@
 namespace gpsa {
 
 ManagerActor::ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
-                           bool checkpoint_each_superstep,
+                           std::uint64_t checkpoint_interval,
                            bool terminate_on_zero_updates,
                            MessageBatchPool* pool,
                            const std::atomic<bool>* cancel,
                            std::atomic<std::uint64_t>* progress)
     : values_(values),
       max_supersteps_(max_supersteps),
-      checkpoint_each_superstep_(checkpoint_each_superstep),
+      checkpoint_interval_(checkpoint_interval),
       terminate_on_zero_updates_(terminate_on_zero_updates),
       pool_(pool),
       cancel_(cancel),
@@ -113,8 +113,19 @@ void ManagerActor::finish_superstep() {
     progress_->fetch_add(1);
   }
 
-  if (checkpoint_each_superstep_) {
-    values_.checkpoint(superstep_).expect_ok();
+  if (checkpoint_interval_ != 0) {
+    // Write-back batching: flush every Nth superstep boundary instead of
+    // all of them. Supersteps between checkpoints are re-run after a
+    // crash (the columns are recomputed from the last durable counter),
+    // which is safe for the same reason recovery itself is — superstep
+    // replay is idempotent over the immutable column.
+    const std::uint64_t completed = result_.superstep_seconds.size();
+    if (completed % checkpoint_interval_ == 0) {
+      values_.checkpoint(superstep_).expect_ok();
+      checkpoint_pending_ = false;
+    } else {
+      checkpoint_pending_ = true;
+    }
   }
 
   if (superstep_message_count_ == 0 ||
@@ -138,6 +149,11 @@ void ManagerActor::finish_superstep() {
 void ManagerActor::finish_run(bool converged) {
   finished_ = true;
   result_.converged = converged;
+  if (checkpoint_pending_ && !result_.failed) {
+    // Batched checkpointing still ends a clean run fully durable.
+    values_.checkpoint(superstep_).expect_ok();
+    checkpoint_pending_ = false;
+  }
   DispatcherMsg dispatcher_over;
   dispatcher_over.kind = DispatcherMsg::Kind::kSystemOver;
   for (DispatcherActor* dispatcher : dispatchers_) {

@@ -56,17 +56,21 @@ struct ManagerResult {
 
 class ManagerActor final : public Actor<ManagerMsg> {
  public:
-  /// `terminate_on_zero_updates`: also stop when a superstep applies no
-  /// updates (needed when dispatch_inactive keeps message counts nonzero
-  /// forever). `pool` (may be null) is told about each superstep boundary
-  /// so MessagePoolStats can split warm-up misses from steady-state ones.
-  /// `cancel` (may be null) is polled at each superstep boundary: once it
-  /// reads true the run winds down cleanly with `cancelled` set.
-  /// `progress` (may be null) is bumped once per completed superstep so a
-  /// service front-end can observe a resident job's liveness without
-  /// waiting for the result.
+  /// `checkpoint_interval`: 0 disables checkpointing; N >= 1 checkpoints
+  /// (msync + counter bump) every N completed supersteps, plus once at the
+  /// end of a clean run, so batching flushes (the write-back experiment,
+  /// GPSA_CHECKPOINT_INTERVAL) bounds crash-replay to N-1 supersteps
+  /// without losing the final state. `terminate_on_zero_updates`: also
+  /// stop when a superstep applies no updates (needed when
+  /// dispatch_inactive keeps message counts nonzero forever). `pool` (may
+  /// be null) is told about each superstep boundary so MessagePoolStats
+  /// can split warm-up misses from steady-state ones. `cancel` (may be
+  /// null) is polled at each superstep boundary: once it reads true the
+  /// run winds down cleanly with `cancelled` set. `progress` (may be null)
+  /// is bumped once per completed superstep so a service front-end can
+  /// observe a resident job's liveness without waiting for the result.
   ManagerActor(ValueFile& values, std::uint64_t max_supersteps,
-               bool checkpoint_each_superstep,
+               std::uint64_t checkpoint_interval,
                bool terminate_on_zero_updates = false,
                MessageBatchPool* pool = nullptr,
                const std::atomic<bool>* cancel = nullptr,
@@ -88,7 +92,7 @@ class ManagerActor final : public Actor<ManagerMsg> {
 
   ValueFile& values_;
   const std::uint64_t max_supersteps_;
-  const bool checkpoint_each_superstep_;
+  const std::uint64_t checkpoint_interval_;
   const bool terminate_on_zero_updates_;
   MessageBatchPool* const pool_;
   const std::atomic<bool>* const cancel_;
@@ -109,6 +113,8 @@ class ManagerActor final : public Actor<ManagerMsg> {
   ManagerResult result_;
   std::promise<ManagerResult> promise_;
   bool finished_ = false;
+  /// Supersteps completed since the last checkpoint (batched flushing).
+  bool checkpoint_pending_ = false;
 };
 
 }  // namespace gpsa

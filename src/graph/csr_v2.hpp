@@ -1,0 +1,140 @@
+// v2 CSR record codec: delta-gap varint edges + vertex renumbering.
+//
+// The v1 on-disk CSR (csr_file.hpp, the paper's Fig. 4c) spends a flat
+// 4 bytes per edge. At billion-edge scale raw byte volume is the wall the
+// readahead scheduler cannot climb (BPP in PAPERS.md: compact layouts are
+// the dominant lever for disk-based engines), so v2 re-encodes each
+// vertex record as:
+//
+//     varint(out_degree)  varint(dst0)  varint(dst1-dst0) ...
+//
+// with targets sorted ascending inside the record, LEB128 groups (7 data
+// bits per byte, high bit = continuation, <= 5 bytes per value), and an
+// absolute restart value every kCsrV2RestartInterval targets so a decoder
+// never chases an unbounded delta chain inside one hub record. Every
+// record start is itself a restart point: the companion ".idx" file holds
+// per-vertex *byte* offsets, which is what keeps CsrEntryStream's chunked
+// fetch and the dispatcher's worklist-mode random jumps working unchanged.
+//
+// Renumbering (GPSA_CSR_ORDER=none|degree|bfs) permutes vertex ids at
+// preprocessing time — degree-descending packs the hubs (small ids =>
+// small gaps), BFS child order packs neighborhoods — improving both the
+// gap compression and apply-loop locality. The permutation (new -> old)
+// is persisted in "<base>.perm"; engines translate ids at the Program
+// boundary and invert the map on output, so results stay keyed by the
+// original vertex ids (DESIGN.md §16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace gpsa {
+
+enum class CsrFormat : std::uint32_t { kV1 = 1, kV2 = 2 };
+enum class CsrOrder : std::uint32_t { kNone = 0, kDegree = 1, kBfs = 2 };
+
+const char* csr_format_name(CsrFormat format);
+Result<CsrFormat> parse_csr_format(std::string_view name);
+/// Explicit request beats GPSA_CSR_FORMAT beats the v1 default (compat:
+/// every pre-v2 deployment keeps reading and writing its existing files).
+CsrFormat resolve_csr_format(std::optional<CsrFormat> requested);
+
+const char* csr_order_name(CsrOrder order);
+Result<CsrOrder> parse_csr_order(std::string_view name);
+/// Explicit request beats GPSA_CSR_ORDER beats none.
+CsrOrder resolve_csr_order(std::optional<CsrOrder> requested);
+
+/// Absolute-value restart cadence inside one record's target list.
+inline constexpr std::uint32_t kCsrV2RestartInterval = 256;
+
+/// LEB128 upper bound for a 32-bit value.
+inline constexpr std::size_t kMaxVarintBytes = 5;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t value);
+
+/// Bounds- and overflow-checked LEB128 decode: advances `p` and returns
+/// true on success; false on truncation, a >5-byte group, or set bits
+/// beyond 32 (the fuzzer's required no-UB rejection path).
+bool decode_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                   std::uint32_t& value);
+
+/// Unchecked LEB128 decode for open-time-validated bytes (the streaming
+/// hot path). The caller guarantees a well-formed group at `p`.
+inline std::uint32_t read_varint_fast(const std::uint8_t*& p) {
+  std::uint32_t b = *p++;
+  if (b < 0x80) {
+    return b;
+  }
+  std::uint32_t value = b & 0x7fU;
+  unsigned shift = 7;
+  do {
+    b = *p++;
+    value |= (b & 0x7fU) << shift;
+    shift += 7;
+  } while (b & 0x80U);
+  return value;
+}
+
+/// Appends one encoded record to `out`. `targets` must be sorted
+/// ascending (duplicates allowed: a zero gap).
+void encode_csr_v2_record(std::span<const VertexId> targets,
+                          std::vector<std::uint8_t>& out);
+
+/// Fully validating decode of one record that must occupy exactly
+/// `bytes`: rejects truncated or overlong varints, non-ascending targets,
+/// targets >= num_vertices, id overflow, and trailing bytes. On success
+/// appends the record in v1 entry shape — [degree] dst... kCsrEndOfList —
+/// to `out`. Used by CsrFileReader::open (once per record) and the fuzz
+/// harness; after it has accepted a record, decode_csr_v2_record_fast is
+/// safe on the same bytes.
+Status decode_csr_v2_record_checked(std::span<const std::uint8_t> bytes,
+                                    VertexId num_vertices,
+                                    std::vector<std::int32_t>& out);
+
+/// Hot-path decode of one open-time-validated record into `out`, which
+/// must have room for degree + 2 entries (CsrFileReader::max_record_entries
+/// bounds it). Returns the entry count written (degree + 2).
+std::size_t decode_csr_v2_record_fast(const std::uint8_t* p,
+                                      std::int32_t* out);
+
+/// Builds the new -> old permutation for `order` over `csr`:
+///   kNone    identity;
+///   kDegree  stable sort by out-degree descending (hubs first — small new
+///            ids, small gaps);
+///   kBfs     BFS visit order, roots tried in degree-descending order so
+///            every component is covered, children in adjacency order.
+std::vector<VertexId> build_order_permutation(const Csr& csr, CsrOrder order);
+
+/// Permutation sidecar "<base>.perm": 16-byte header + new->old u32 array.
+struct CsrPermHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t order;  // CsrOrder, must match the entry file's flags
+  std::uint32_t num_vertices;
+
+  static constexpr std::uint32_t kMagic = 0x4750524D;  // "GPRM"
+  static constexpr std::uint32_t kVersion = 1;
+};
+static_assert(sizeof(CsrPermHeader) == 16);
+
+Status write_perm_file(const std::string& base_path, CsrOrder order,
+                       std::span<const VertexId> new_to_old);
+
+/// Reads and fully validates "<base>.perm": header fields must match the
+/// entry file's, and the body must be a bijection on [0, num_vertices) —
+/// engines index output arrays through it, so an unvalidated entry would
+/// be an out-of-bounds write primitive.
+Result<std::vector<VertexId>> read_perm_file(const std::string& base_path,
+                                             CsrOrder order,
+                                             VertexId num_vertices);
+
+}  // namespace gpsa

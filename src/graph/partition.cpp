@@ -93,15 +93,29 @@ std::vector<Interval> make_intervals_from_degrees(
 std::vector<Interval> make_intervals(const CsrFileReader& csr, unsigned parts,
                                      PartitionStrategy strategy) {
   const VertexId n = csr.num_vertices();
-  std::vector<EdgeCount> degrees(n);
-  for (VertexId v = 0; v < n; ++v) {
-    degrees[v] = csr.record(v).out_degree;
-  }
-  auto intervals = make_intervals_from_degrees(degrees, parts, strategy);
   const auto offsets = csr.record_offsets();
+  const bool v2 = csr.format() == CsrFormat::kV2;
+  // Balance weights: out-degrees for v1, where every edge costs the same
+  // 4-byte entry, but *encoded record bytes* for v2 — varint compression
+  // decouples byte skew from degree skew (a hub of near-consecutive
+  // targets is cheap, a scattered one expensive), and a dispatcher's
+  // streaming cost is proportional to the bytes it scans, not the edges.
+  std::vector<EdgeCount> weights(n);
+  for (VertexId v = 0; v < n; ++v) {
+    weights[v] = v2 ? offsets[v + 1] - offsets[v] : csr.out_degree(v);
+  }
+  auto intervals = make_intervals_from_degrees(weights, parts, strategy);
   for (Interval& iv : intervals) {
     iv.begin_entry = offsets[iv.begin_vertex];
     iv.end_entry = offsets[iv.end_vertex];
+    if (v2) {
+      // build() summed byte weights into edge_count; restore true edges
+      // (progress accounting and the stats line report edge counts).
+      iv.edge_count = 0;
+      for (VertexId v = iv.begin_vertex; v < iv.end_vertex; ++v) {
+        iv.edge_count += csr.out_degree(v);
+      }
+    }
   }
   return intervals;
 }

@@ -3,54 +3,78 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/csr_v2.hpp"
 #include "util/logging.hpp"
 
 namespace gpsa {
 
 CsrEntryStream::CsrEntryStream(std::unique_ptr<IoReadStream> stream,
                                std::uint64_t num_entries)
-    : stream_(std::move(stream)), num_entries_(num_entries) {
+    : stream_(std::move(stream)),
+      num_units_(num_entries),
+      unit_bytes_(sizeof(std::int32_t)) {
   GPSA_CHECK(stream_ != nullptr);
-  GPSA_CHECK(byte_of(num_entries_) <= stream_->size());
+  GPSA_CHECK(byte_of(num_units_) <= stream_->size());
+}
+
+CsrEntryStream::CsrEntryStream(std::unique_ptr<IoReadStream> stream,
+                               const CsrFileReader& reader)
+    : stream_(std::move(stream)),
+      num_units_(reader.num_units()),
+      unit_bytes_(reader.unit_bytes()) {
+  GPSA_CHECK(stream_ != nullptr);
+  GPSA_CHECK(byte_of(num_units_) <= stream_->size());
+  if (reader.format() == CsrFormat::kV2) {
+    // One allocation for the life of the stream: open() validated every
+    // record, so max_record_entries() bounds every decode.
+    scratch_.resize(reader.max_record_entries());
+  }
 }
 
 const std::int32_t* CsrEntryStream::fetch_record(std::uint64_t begin,
                                                  std::uint64_t count) {
-  GPSA_DCHECK(begin + count <= num_entries_);
-  if (begin >= chunk_begin_ && begin + count <= chunk_end_) {
-    return chunk_data_ + (begin - chunk_begin_);
+  GPSA_DCHECK(begin + count <= num_units_);
+  if (begin < chunk_begin_ || begin + count > chunk_end_) {
+    // Refill forward from `begin`: a chunk's worth, or the whole record
+    // for hubs that outgrow one chunk.
+    const std::uint64_t end = std::min(
+        num_units_, begin + std::max(count, kChunkBytes / unit_bytes_));
+    const std::byte* data = stream_->fetch(
+        byte_of(begin),
+        static_cast<std::size_t>((end - begin) * unit_bytes_));
+    if (data == nullptr) {
+      chunk_data_ = nullptr;
+      chunk_begin_ = chunk_end_ = 0;
+      throw std::runtime_error("CSR stream read failed: " +
+                               stream_->status().to_string());
+    }
+    chunk_data_ = data;
+    chunk_begin_ = begin;
+    chunk_end_ = end;
   }
-  // Refill forward from `begin`: a chunk's worth, or the whole record for
-  // hubs that outgrow one chunk.
-  const std::uint64_t end =
-      std::min(num_entries_, begin + std::max(count, kChunkEntries));
-  const std::byte* data = stream_->fetch(
-      byte_of(begin), static_cast<std::size_t>((end - begin) *
-                                               sizeof(std::int32_t)));
-  if (data == nullptr) {
-    chunk_data_ = nullptr;
-    chunk_begin_ = chunk_end_ = 0;
-    throw std::runtime_error("CSR stream read failed: " +
-                             stream_->status().to_string());
+  const std::byte* record =
+      chunk_data_ + (begin - chunk_begin_) * unit_bytes_;
+  if (scratch_.empty()) {
+    return reinterpret_cast<const std::int32_t*>(record);
   }
-  chunk_data_ = reinterpret_cast<const std::int32_t*>(data);
-  chunk_begin_ = begin;
-  chunk_end_ = end;
-  return chunk_data_;
+  // v2: decode the requested record (and only it) out of the leased chunk.
+  decode_csr_v2_record_fast(reinterpret_cast<const std::uint8_t*>(record),
+                            scratch_.data());
+  return scratch_.data();
 }
 
 void CsrEntryStream::will_need_entries(std::uint64_t begin,
                                        std::uint64_t count) {
-  if (begin >= num_entries_ || count == 0) {
+  if (begin >= num_units_ || count == 0) {
     return;
   }
-  count = std::min(count, num_entries_ - begin);
+  count = std::min(count, num_units_ - begin);
   stream_->will_need(byte_of(begin),
-                     static_cast<std::size_t>(count * sizeof(std::int32_t)));
+                     static_cast<std::size_t>(count * unit_bytes_));
 }
 
-void CsrEntryStream::drop_behind_entries(std::uint64_t entry) {
-  stream_->drop_behind(byte_of(std::min(entry, num_entries_)));
+void CsrEntryStream::drop_behind_entries(std::uint64_t unit) {
+  stream_->drop_behind(byte_of(std::min(unit, num_units_)));
 }
 
 }  // namespace gpsa

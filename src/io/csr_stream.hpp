@@ -1,14 +1,24 @@
-// Entry-indexed view over a CSR entry file's IoReadStream.
+// Unit-indexed view over a CSR entry file's IoReadStream.
 //
-// The dispatcher thinks in int32 entry indices (Algorithm 2's `curoff`);
-// the backend thinks in bytes. This adapter converts, and amortizes the
-// per-fetch cost (virtual call, and for pread/uring a lock + possible
-// memcpy) by fetching in chunks of kChunkEntries and serving records out
-// of the current chunk until the cursor leaves it.
+// The dispatcher thinks in record offsets from the .idx file (Algorithm
+// 2's `curoff`); the backend thinks in bytes. This adapter converts, and
+// amortizes the per-fetch cost (virtual call, and for pread/uring a lock +
+// possible memcpy) by fetching ~256 KiB chunks and serving records out of
+// the current chunk until the cursor leaves it.
+//
+// The offset unit follows the file format (CsrFileReader::unit_bytes):
+// int32 entries for v1, bytes for v2. For v1 fetch_record returns a
+// pointer straight into the leased chunk (zero-copy). For v2 it decodes
+// the one requested record from the chunk's varint bytes into a scratch
+// buffer pre-sized at construction — shaped exactly like a v1 record
+// ([degree] dst... -1) so the dispatch loop is format-oblivious, and
+// never larger than the validated max record, so the dispatch path stays
+// allocation-free.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "graph/csr_file.hpp"
 #include "io/io_backend.hpp"
@@ -17,35 +27,51 @@ namespace gpsa {
 
 class CsrEntryStream {
  public:
-  /// 64 Ki entries = 256 KiB per refill, matching the default block size.
-  static constexpr std::uint64_t kChunkEntries = 1u << 16;
+  /// 256 KiB per refill, matching the default block size (64 Ki v1
+  /// entries, 256 Ki v2 bytes).
+  static constexpr std::uint64_t kChunkBytes = 1u << 18;
+  /// Historical name for the v1 refill size, in entries.
+  static constexpr std::uint64_t kChunkEntries = kChunkBytes / 4;
 
-  /// `stream` is an open IoReadStream over the CSR *entry* file (the base
-  /// path, not the .idx); `num_entries` comes from the validated reader.
+  /// v1 view: `stream` is an open IoReadStream over a v1 CSR *entry* file
+  /// (the base path, not the .idx); `num_entries` comes from the validated
+  /// reader.
   CsrEntryStream(std::unique_ptr<IoReadStream> stream,
                  std::uint64_t num_entries);
 
-  std::uint64_t num_entries() const { return num_entries_; }
+  /// Format-negotiated view: takes the unit size, total units, and (for
+  /// v2) the decode-scratch bound from the validated reader.
+  CsrEntryStream(std::unique_ptr<IoReadStream> stream,
+                 const CsrFileReader& reader);
 
-  /// Pointer to entries [begin, begin+count), valid until the next call.
-  /// Throws std::runtime_error on an I/O error — dispatchers already
-  /// translate exceptions from run_iteration into WORKER_FAILED.
+  std::uint64_t num_entries() const { return num_units_; }
+
+  /// Size of one offset unit in bytes (4 for v1, 1 for v2); mirrors
+  /// CsrFileReader::unit_bytes for readahead-window accounting.
+  unsigned unit_bytes() const { return unit_bytes_; }
+
+  /// The record spanning units [begin, begin+count), as v1-shaped int32
+  /// entries; valid until the next call. Throws std::runtime_error on an
+  /// I/O error — dispatchers already translate exceptions from
+  /// run_iteration into WORKER_FAILED.
   const std::int32_t* fetch_record(std::uint64_t begin, std::uint64_t count);
 
-  /// Readahead/drop-behind in entry units (forwarded as byte hints).
+  /// Readahead/drop-behind in offset units (forwarded as byte hints).
   void will_need_entries(std::uint64_t begin, std::uint64_t count);
-  void drop_behind_entries(std::uint64_t entry);
+  void drop_behind_entries(std::uint64_t unit);
 
   PrefetchCounters counters() const { return stream_->counters(); }
 
  private:
-  static std::uint64_t byte_of(std::uint64_t entry) {
-    return sizeof(CsrFileHeader) + entry * sizeof(std::int32_t);
+  std::uint64_t byte_of(std::uint64_t unit) const {
+    return sizeof(CsrFileHeader) + unit * unit_bytes_;
   }
 
   const std::unique_ptr<IoReadStream> stream_;
-  const std::uint64_t num_entries_;
-  const std::int32_t* chunk_data_ = nullptr;
+  const std::uint64_t num_units_;
+  const unsigned unit_bytes_;
+  std::vector<std::int32_t> scratch_;  // v2 decode target; empty for v1
+  const std::byte* chunk_data_ = nullptr;
   std::uint64_t chunk_begin_ = 0;
   std::uint64_t chunk_end_ = 0;  // == begin: empty
 };

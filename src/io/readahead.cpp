@@ -12,7 +12,11 @@ ReadaheadScheduler::ReadaheadScheduler(const IoConfig& config,
     : csr_(csr),
       values_(values),
       interval_(interval),
-      base_window_entries_(config.readahead_bytes / sizeof(std::int32_t)),
+      // The window budget is in *bytes*; the stream's unit converts it.
+      // For v2 files one unit is one compressed byte, so the same byte
+      // budget covers ~2-4x the edges — compression widens the effective
+      // lookahead for free.
+      base_window_entries_(config.readahead_bytes / csr->unit_bytes()),
       // A vertex costs one interleaved slot pair on the value plane.
       base_window_vertices_(config.readahead_bytes /
                             (ValueFile::kColumns * sizeof(Slot))),

@@ -64,6 +64,7 @@ std::string ValueFile::app_tag() const {
 }
 
 Status ValueFile::drop_cache() {
+  ++flush_syscalls_;
   GPSA_RETURN_IF_ERROR(map_.sync());
   GPSA_RETURN_IF_ERROR(
       map_.advise_range(0, map_.size(), MmapFile::Advice::kDontNeed));
@@ -86,6 +87,7 @@ Status ValueFile::advise_vertex_range(VertexId begin, VertexId end,
 }
 
 Status ValueFile::checkpoint(std::uint64_t completed_supersteps) {
+  flush_syscalls_ += 2;  // data msync + header msync below
   GPSA_RETURN_IF_ERROR(map_.sync());
   header().completed_supersteps = completed_supersteps;
   return map_.sync();

@@ -94,7 +94,15 @@ class ValueFile {
   /// flushes the header (write ordering makes the counter trustworthy).
   Status checkpoint(std::uint64_t completed_supersteps);
 
-  Status sync() { return map_.sync(); }
+  Status sync() {
+    ++flush_syscalls_;
+    return map_.sync();
+  }
+
+  /// msync calls issued against this file (sync/checkpoint/drop_cache).
+  /// The write-back-batching bench reports this so GPSA_CHECKPOINT_INTERVAL
+  /// has a measurable effect (DESIGN.md §16: O_DIRECT feasibility note).
+  std::uint64_t flush_syscalls() const { return flush_syscalls_; }
 
   /// Cold-cache protocol (bench_ablation_io): flush dirty slots, then
   /// release the mapping's pages and the kernel page-cache copies.
@@ -128,6 +136,7 @@ class ValueFile {
   }
 
   MmapFile map_;
+  std::uint64_t flush_syscalls_ = 0;
 };
 
 }  // namespace gpsa
